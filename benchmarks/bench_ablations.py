@@ -1,0 +1,52 @@
+"""Design-choice ablations beyond the paper's own figures (DESIGN.md §5).
+
+Probes each BiSAGE/OD design decision in isolation on one home world:
+
+* weighted vs uniform neighbour sampling and random walks;
+* degree^{3/4} vs uniform negative sampling;
+* bi-level (primary/auxiliary) aggregation vs homogeneous GraphSAGE;
+* online self-update on vs off.
+"""
+
+from dataclasses import replace
+
+from bench_common import cached_user_dataset, write_result
+
+from repro.core.config import GEMConfig
+from repro.core.gem import GEM
+from repro.eval import evaluate_streaming, make_algorithm
+from repro.eval.reporting import format_table
+
+
+def _gem_with(config: GEMConfig, user: int = 6):
+    result = evaluate_streaming(GEM(config), cached_user_dataset(user))
+    return result.metrics
+
+
+def run_ablations():
+    base = GEMConfig()
+    rows = {}
+    rows["GEM (full)"] = _gem_with(base)
+    rows["uniform negative sampling"] = _gem_with(
+        replace(base, bisage=replace(base.bisage, negative_power=0.0)))
+    rows["no self-update"] = _gem_with(replace(base, self_update=False))
+    rows["single aggregation layer (K=1)"] = _gem_with(
+        replace(base, bisage=replace(base.bisage, num_layers=1)))
+    rows["full-neighbourhood aggregation"] = _gem_with(
+        replace(base, bisage=replace(base.bisage, sample_size=None)))
+    result = evaluate_streaming(make_algorithm("GraphSAGE+OD", seed=0),
+                                cached_user_dataset(6))
+    rows["homogeneous aggregation (GraphSAGE)"] = result.metrics
+    return rows
+
+
+def test_design_ablations(benchmark):
+    rows = benchmark.pedantic(run_ablations, rounds=1, iterations=1)
+    table = [[name, f"{m.f_in:.3f}", f"{m.f_out:.3f}"] for name, m in rows.items()]
+    write_result("ablations",
+                 format_table(["Variant", "Fin", "Fout"], table,
+                              title="Design-choice ablations (user 6)"))
+    full = rows["GEM (full)"]
+    # The full configuration is competitive with every ablation.
+    for name, metrics in rows.items():
+        assert full.f_out >= metrics.f_out - 0.1, name

@@ -1,0 +1,49 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Each ``bench_*.py`` regenerates one table or figure of the paper at
+laptop scale: the dataset sizes are reduced from the paper's multi-hour
+campaigns, so *absolute* numbers differ while the comparisons (who wins,
+roughly by how much, where the knees are) are the reproduction target.
+
+Every benchmark writes its result table to ``benchmarks/results/`` so
+the numbers survive pytest's stdout capture.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+from pathlib import Path
+
+from repro.datasets import generate_dataset, user_dataset
+from repro.eval import evaluate_streaming, make_algorithm
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+# REPRO_BENCH_FULL=1 runs the full 10-user / full-sweep versions.
+FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+BENCH_USERS = list(range(1, 11)) if FULL else [1, 3, 6, 10]
+TEST_SESSIONS = 6
+SESSION_S = 80.0
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist one benchmark's table; also echo to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(text)
+
+
+@functools.lru_cache(maxsize=None)
+def cached_user_dataset(user_id: int):
+    """User dataset with the bench-scale stream (cached across benches)."""
+    return user_dataset(user_id, test_sessions=TEST_SESSIONS,
+                        session_duration_s=SESSION_S)
+
+
+def run_arm(name: str, dataset, seed: int = 0):
+    """Fit + stream one algorithm arm; returns the EvaluationResult."""
+    model = make_algorithm(name, seed=seed)
+    return evaluate_streaming(model, dataset)

@@ -1,0 +1,73 @@
+"""Fig. 14 — inference-time breakdown and batch-update timing.
+
+Paper shapes (absolute ms are hardware-specific): embedding dimension
+moves the model-update time but barely the BiSAGE-inference or in-out
+detection time; T and m have little effect; per-batch update time grows
+with batch size while the total time to absorb a fixed stream *falls*
+with batch size.
+"""
+
+import numpy as np
+
+from bench_common import FULL, cached_user_dataset, write_result
+
+from repro.core.config import GEMConfig
+from repro.core.gem import GEM
+from repro.eval.timing import measure_batch_update, measure_inference_breakdown
+from repro.eval.reporting import format_table
+
+DIMS = [8, 32, 128] if not FULL else [4, 8, 16, 32, 64, 128]
+PROBE_RECORDS = 60
+STREAM_SIZE = 400
+BATCH_SIZES = [1, 10, 50, 200]
+
+
+def _fitted_gem(dim: int):
+    data = cached_user_dataset(3)
+    gem = GEM(GEMConfig().with_dim(dim))
+    gem.fit(data.train)
+    probe = [item.record for item in data.test[:PROBE_RECORDS]]
+    return gem, probe
+
+
+def run_dim_breakdown():
+    rows = []
+    for dim in DIMS:
+        gem, probe = _fitted_gem(dim)
+        timing = measure_inference_breakdown(gem, probe)
+        rows.append((dim, timing))
+    return rows
+
+
+def run_batch_modes():
+    gem, _ = _fitted_gem(32)
+    rng = np.random.default_rng(0)
+    stream = rng.standard_normal((STREAM_SIZE, 32)) * 0.05
+    out = []
+    for batch_size in BATCH_SIZES:
+        per_batch_ms, total_ms = measure_batch_update(gem, stream, batch_size)
+        out.append((batch_size, per_batch_ms, total_ms))
+    return out
+
+
+def test_fig14a_breakdown_vs_dimension(benchmark):
+    rows = benchmark.pedantic(run_dim_breakdown, rounds=1, iterations=1)
+    table = [[str(d), f"{t.embed_ms:.2f}", f"{t.detect_ms:.2f}", f"{t.update_ms:.2f}",
+              f"{t.total_ms:.2f}"] for d, t in rows]
+    write_result("fig14a_timing_vs_dim",
+                 format_table(["dim", "embed ms", "detect ms", "update ms", "total ms"],
+                              table, title="Fig. 14(a) inference breakdown"))
+    # Update cost grows with dimension; detection stays comparatively flat.
+    assert rows[-1][1].update_ms > rows[0][1].update_ms
+    assert rows[-1][1].detect_ms < rows[-1][1].update_ms * 5
+
+
+def test_fig14de_batch_update(benchmark):
+    rows = benchmark.pedantic(run_batch_modes, rounds=1, iterations=1)
+    table = [[str(b), f"{per:.2f}", f"{total:.1f}"] for b, per, total in rows]
+    write_result("fig14de_batch_update",
+                 format_table(["batch size", "per-batch ms", "total ms"], table,
+                              title=f"Fig. 14(d,e) absorbing {STREAM_SIZE} embeddings"))
+    # Per-batch time grows with batch size; total time falls.
+    assert rows[-1][1] > rows[0][1]
+    assert rows[-1][2] < rows[0][2]

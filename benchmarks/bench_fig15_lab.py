@@ -1,0 +1,90 @@
+"""Fig. 15 + Table III — lab experiments: time of day, walking speed, bands.
+
+Paper: GEM stays effective at 11AM/4PM/9PM despite RSS mean/SD/MAC-count
+swings (Table III); training-walk speed 0.4/0.8/1.2 m/s barely matters;
+2.4G+5G beats single bands and 5G-only beats 2.4G-only (better spatial
+confinement).
+"""
+
+import numpy as np
+
+from bench_common import write_result
+
+from repro.core.records import unique_macs
+from repro.datasets import generate_dataset
+from repro.eval import evaluate_streaming, make_algorithm
+from repro.eval.reporting import format_table
+from repro.rf.device import Device
+from repro.rf.scenarios import lab_scenario
+
+# (label, crowd penalty dB, extra fading dB, transient hotspot APs)
+TIMES_OF_DAY = [("11AM", 4.0, 2.0, 10), ("4PM", 6.0, 3.0, 14), ("9PM", 0.0, 0.0, 2)]
+SPEEDS = [0.4, 0.8, 1.2]
+BANDS = [("2.4G", ("2.4",)), ("5G", ("5",)), ("2.4G+5G", ("2.4", "5"))]
+
+
+def _evaluate(scenario, seed, device=Device(), crowd=0.0, fading=0.0,
+              train_speed=0.8):
+    data = generate_dataset(scenario, seed=seed, test_sessions=6,
+                            session_duration_s=70, device=device,
+                            crowd_penalty_db=crowd, extra_fading_db=fading,
+                            train_speed=train_speed)
+    result = evaluate_streaming(make_algorithm("GEM", seed=seed), data)
+    return data, result.metrics
+
+
+def run_time_of_day():
+    rows = []
+    for label, crowd, fading, hotspots in TIMES_OF_DAY:
+        scenario = lab_scenario(seed=7, transient_aps=hotspots)
+        data, metrics = _evaluate(scenario, seed=21, crowd=crowd, fading=fading)
+        rss = [value for record in data.train for value in record.readings.values()]
+        rows.append((label, metrics.f_in, metrics.f_out,
+                     float(np.mean(rss)), float(np.std(rss)), data.num_macs_seen))
+    return rows
+
+
+def run_speeds():
+    scenario = lab_scenario(seed=7, transient_aps=6)
+    return [(speed, *_evaluate(scenario, seed=22, train_speed=speed)[1].as_row()[2::3])
+            for speed in SPEEDS]
+
+
+def run_bands():
+    scenario = lab_scenario(seed=7, transient_aps=6)
+    rows = []
+    for label, bands in BANDS:
+        device = Device(bands=bands)
+        _, metrics = _evaluate(scenario, seed=23, device=device)
+        rows.append((label, metrics.f_in, metrics.f_out))
+    return rows
+
+
+def test_fig15b_time_of_day(benchmark):
+    rows = benchmark.pedantic(run_time_of_day, rounds=1, iterations=1)
+    table = [[label, f"{fi:.3f}", f"{fo:.3f}", f"{mean:.1f}", f"{sd:.1f}", str(macs)]
+             for label, fi, fo, mean, sd, macs in rows]
+    write_result("fig15b_time_of_day",
+                 format_table(["Time", "Fin", "Fout", "RSS mean", "RSS SD", "#MACs"],
+                              table, title="Fig. 15(b) + Table III"))
+    assert min(min(r[1], r[2]) for r in rows) > 0.75
+    # Table III shape: busy hours have more MACs than the quiet evening.
+    assert rows[1][5] > rows[2][5]
+
+
+def test_fig15c_walking_speed(benchmark):
+    rows = benchmark.pedantic(run_speeds, rounds=1, iterations=1)
+    table = [[f"{speed} m/s", f"{fi:.3f}", f"{fo:.3f}"] for speed, fi, fo in rows]
+    write_result("fig15c_walking_speed",
+                 format_table(["Speed", "Fin", "Fout"], table, title="Fig. 15(c)"))
+    assert min(min(fi, fo) for _, fi, fo in rows) > 0.75
+
+
+def test_fig15d_frequency_bands(benchmark):
+    rows = benchmark.pedantic(run_bands, rounds=1, iterations=1)
+    table = [[label, f"{fi:.3f}", f"{fo:.3f}"] for label, fi, fo in rows]
+    write_result("fig15d_bands",
+                 format_table(["Bands", "Fin", "Fout"], table, title="Fig. 15(d)"))
+    scores = {label: (fi + fo) / 2 for label, fi, fo in rows}
+    # Dual band is at least as good as either single band.
+    assert scores["2.4G+5G"] >= max(scores["2.4G"], scores["5G"]) - 0.05

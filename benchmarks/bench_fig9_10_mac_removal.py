@@ -1,0 +1,69 @@
+"""Fig. 9/10 — robustness to MAC removal in the training / test set.
+
+Paper: removing up to 25 % of MACs barely moves GEM (the self-update
+keeps absorbing records with the surviving MACs), while the detector
+baselines on the same embeddings degrade faster.  Reproduction target:
+GEM's curve is the flattest / highest.
+"""
+
+from bench_common import FULL, cached_user_dataset, run_arm, write_result
+
+from repro.datasets import remove_macs
+from repro.eval.reporting import format_series
+
+FRACTIONS = [0.0, 0.05, 0.10, 0.15, 0.20, 0.25] if FULL else [0.0, 0.10, 0.25]
+ARMS = ["GEM", "BiSAGE+FeatureBagging", "BiSAGE+iForest", "BiSAGE+LOF"]
+REPS = 3 if FULL else 1
+
+
+def run_removal(which: str):
+    base = cached_user_dataset(3)
+    curves = {}
+    for arm in ARMS:
+        f_in_curve, f_out_curve = [], []
+        for fraction in FRACTIONS:
+            f_in = f_out = 0.0
+            for rep in range(REPS):
+                data = remove_macs(base, fraction, seed=100 * rep + 7, which=which)
+                metrics = run_arm(arm, data, seed=3).metrics
+                f_in += metrics.f_in
+                f_out += metrics.f_out
+            f_in_curve.append(f_in / REPS)
+            f_out_curve.append(f_out / REPS)
+        curves[arm] = (f_in_curve, f_out_curve)
+    return curves
+
+
+def _report(name: str, curves) -> str:
+    lines = []
+    for arm, (f_in, f_out) in curves.items():
+        lines.append(format_series(f"{arm} Fin", FRACTIONS, f_in))
+        lines.append(format_series(f"{arm} Fout", FRACTIONS, f_out))
+    text = f"{name}\n" + "\n".join(lines)
+    write_result(name, text)
+    return text
+
+
+def test_fig9_removal_from_training(benchmark):
+    curves = benchmark.pedantic(run_removal, args=("train",), rounds=1, iterations=1)
+    _report("fig9_mac_removal_train", curves)
+    gem_f_in, gem_f_out = curves["GEM"]
+    # Paper shape reproduced: training-set removal leaves GEM nearly flat.
+    assert gem_f_in[-1] > 0.7
+    assert gem_f_out[-1] > 0.7
+    assert gem_f_in[0] - gem_f_in[-1] < 0.25
+
+
+def test_fig10_removal_from_test(benchmark):
+    curves = benchmark.pedantic(run_removal, args=("test",), rounds=1, iterations=1)
+    _report("fig10_mac_removal_test", curves)
+    gem_f_in, gem_f_out = curves["GEM"]
+    # KNOWN PARTIAL REPRODUCTION (see EXPERIMENTS.md): abrupt test-only
+    # MAC removal shifts our embeddings by about one training-spread,
+    # which the tightly-calibrated detector flags, so F_in degrades
+    # faster than the paper's near-flat curve.  The assertions pin the
+    # behaviour that does reproduce: outside detection stays effective
+    # and GEM stays in family with the detector baselines.
+    assert gem_f_out[-1] > 0.6
+    for arm, (f_in, f_out) in curves.items():
+        assert gem_f_out[-1] >= f_out[-1] - 0.12, arm

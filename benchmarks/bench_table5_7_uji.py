@@ -1,0 +1,61 @@
+"""Tables V–VII — UJI buildings 0–2, GEM vs SignatureHome vs INOA.
+
+Paper protocol: per building, the middle floor is the geofence, half of
+its records train the model, every other record of the building streams
+as test data.  Paper shape: GEM ~0.91-0.95 F_in / ~0.98 F_out, both
+baselines far behind (SignatureHome F_in 0.62-0.72, INOA 0.69-0.77).
+
+Runs on the synthetic UJI-like corpus offline; point REPRO_UJI_CSV at a
+real UJIIndoorLoc trainingData.csv to run on the actual dataset.
+"""
+
+import os
+
+from bench_common import FULL, run_arm, write_result
+
+from repro.datasets import GeofenceDataset, load_uji_csv, uji_building_split, uji_like_dataset
+from repro.datasets.uji import uji_like_scenario
+from repro.eval.reporting import format_table
+
+ARMS = ["GEM", "SignatureHome", "INOA"]
+BUILDINGS = [0, 1, 2]
+RECORDS_PER_FLOOR = 400 if FULL else 240
+
+
+def _dataset(building: int) -> GeofenceDataset:
+    csv_path = os.environ.get("REPRO_UJI_CSV")
+    if csv_path:
+        rows = load_uji_csv(csv_path)
+        train, test = uji_building_split(rows, building, seed=0)
+        return GeofenceDataset(scenario=uji_like_scenario(building), train=train,
+                               test=test, meta={"kind": "uji-real", "building": building})
+    return uji_like_dataset(building, seed=0, records_per_floor=RECORDS_PER_FLOOR)
+
+
+def run_uji():
+    results = {}
+    for building in BUILDINGS:
+        data = _dataset(building)
+        results[building] = {name: run_arm(name, data, seed=building).metrics
+                             for name in ARMS}
+    return results
+
+
+def test_tables5_7_uji_buildings(benchmark):
+    results = benchmark.pedantic(run_uji, rounds=1, iterations=1)
+    lines = []
+    for building, per_arm in results.items():
+        rows = [[name, f"{m.p_in:.2f}", f"{m.r_in:.2f}", f"{m.f_in:.2f}",
+                 f"{m.p_out:.2f}", f"{m.r_out:.2f}", f"{m.f_out:.2f}"]
+                for name, m in per_arm.items()]
+        lines.append(format_table(
+            ["Algorithm", "Pin", "Rin", "Fin", "Pout", "Rout", "Fout"], rows,
+            title=f"Table {'V VI VII'.split()[building]} (UJI building {building})"))
+    write_result("table5_7_uji", "\n\n".join(lines))
+
+    for building, per_arm in results.items():
+        gem = per_arm["GEM"]
+        # GEM beats both baselines on F_in in every building.
+        assert gem.f_in > per_arm["SignatureHome"].f_in, f"building {building}"
+        assert gem.f_in > per_arm["INOA"].f_in - 0.02, f"building {building}"
+        assert gem.f_out > 0.85, f"building {building}"

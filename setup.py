@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline environment has setuptools but no ``wheel`` package, so the
+PEP 517 editable-install path (which needs to build a wheel) fails.
+Keeping a setup.py lets ``pip install -e . --no-build-isolation`` use
+the classic ``setup.py develop`` route.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

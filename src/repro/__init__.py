@@ -1,0 +1,45 @@
+"""GEM: semi-supervised geofencing with network embedding on ambient RF signals.
+
+A from-scratch reproduction of the ICDE 2023 paper (Zhuo et al.): the
+weighted-bipartite-graph signal model, the BiSAGE bipartite GNN, the
+enhanced histogram one-class detector with online self-update, every
+baseline the paper compares against, and an RF measurement simulator
+substituting for the paper's physical data collection.
+
+Quickstart::
+
+    from repro import GEM, GEMConfig
+    from repro.datasets import user_dataset
+
+    data = user_dataset(3)             # one of the Table II homes
+    gem = GEM(GEMConfig()).fit(data.train)
+    decision = gem.observe(data.test[0].record)
+    print(decision.inside, decision.score)
+"""
+
+from repro.core import (
+    GEM,
+    EmbeddingGeofencer,
+    GEMConfig,
+    GeofenceDecision,
+    LabeledRecord,
+    SignalRecord,
+)
+from repro.detection import HistogramConfig, HistogramDetector
+from repro.embedding import BiSAGE, BiSAGEConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BiSAGE",
+    "BiSAGEConfig",
+    "EmbeddingGeofencer",
+    "GEM",
+    "GEMConfig",
+    "GeofenceDecision",
+    "HistogramConfig",
+    "HistogramDetector",
+    "LabeledRecord",
+    "SignalRecord",
+    "__version__",
+]

@@ -1,0 +1,6 @@
+"""End-to-end comparator systems from the paper's evaluation."""
+
+from repro.baselines.inoa import INOA
+from repro.baselines.signature_home import SignatureHome
+
+__all__ = ["INOA", "SignatureHome"]

@@ -1,0 +1,32 @@
+"""GEM core: records, configuration and the end-to-end pipeline."""
+
+from repro.core.config import GEMConfig
+from repro.core.embedders import (
+    AutoencoderEmbedder,
+    BiSAGEEmbedder,
+    GraphSAGEEmbedder,
+    ImputedMatrixEmbedder,
+    MDSEmbedder,
+)
+from repro.core.gem import GEM, EmbeddingGeofencer
+from repro.core.protocols import Detector, GeofenceDecision, GeofenceModel, RecordEmbedder
+from repro.core.records import LabeledRecord, SignalRecord, rss_bounds, unique_macs
+
+__all__ = [
+    "AutoencoderEmbedder",
+    "BiSAGEEmbedder",
+    "Detector",
+    "EmbeddingGeofencer",
+    "GEM",
+    "GEMConfig",
+    "GeofenceDecision",
+    "GeofenceModel",
+    "GraphSAGEEmbedder",
+    "ImputedMatrixEmbedder",
+    "LabeledRecord",
+    "MDSEmbedder",
+    "RecordEmbedder",
+    "SignalRecord",
+    "rss_bounds",
+    "unique_macs",
+]

@@ -1,0 +1,51 @@
+"""GEM system configuration (all Sec.-V hyper-parameters in one place)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.detection.histogram import HistogramConfig
+from repro.embedding.bisage import BiSAGEConfig
+from repro.utils.validation import check_positive, check_positive_int
+
+__all__ = ["GEMConfig"]
+
+
+@dataclass(frozen=True)
+class GEMConfig:
+    """Configuration for the full GEM pipeline.
+
+    Defaults follow the paper's tuned baseline parameters (Sec. V):
+    learning rate 0.003, embedding dimension 32, offset c = 120 dBm,
+    scaling factor T = 0.06, τ_u = 0.005, τ_l = 0.001.
+    """
+
+    bisage: BiSAGEConfig = field(default_factory=BiSAGEConfig)
+    histogram: HistogramConfig = field(default_factory=HistogramConfig)
+    weight_offset: float = 120.0
+    self_update: bool = True
+    batch_update_size: int = 1
+    # Rebuilding BiSAGE's per-layer caches mid-stream would change the
+    # embedding function under a detector whose histograms were fitted to
+    # the old one, so it is off by default (0).  MACs first seen after
+    # training are excluded from aggregation instead; set this to N to
+    # rebuild every N records *if* you also re-fit the detector.
+    refresh_cache_every: int = 0
+
+    def __post_init__(self):
+        check_positive(self.weight_offset, "weight_offset")
+        check_positive_int(self.batch_update_size, "batch_update_size")
+        if self.refresh_cache_every < 0:
+            raise ValueError("refresh_cache_every must be >= 0")
+
+    def with_dim(self, dim: int) -> "GEMConfig":
+        """Convenience for the Fig. 13(a)/14(a) embedding-dimension sweeps."""
+        return replace(self, bisage=replace(self.bisage, dim=dim))
+
+    def with_temperature(self, temperature: float) -> "GEMConfig":
+        """Convenience for the Fig. 13(b)/14(b) scaling-factor sweeps."""
+        return replace(self, histogram=replace(self.histogram, temperature=temperature))
+
+    def with_bins(self, num_bins: int) -> "GEMConfig":
+        """Convenience for the Fig. 13(c)/14(c) bin-count sweeps."""
+        return replace(self, histogram=replace(self.histogram, num_bins=num_bins))

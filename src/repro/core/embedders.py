@@ -1,0 +1,206 @@
+"""Adapters that expose each embedding algorithm as a RecordEmbedder.
+
+Each Table-I pipeline is "embedder + detector"; these adapters give the
+graph-based embedders (BiSAGE, GraphSAGE) their dynamic-graph plumbing
+(Algorithm 2 line 1: "connect r into G") and give the matrix-based
+embedders (autoencoder, MDS, raw imputed matrix) their fixed-universe
+imputation, behind one interface.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.records import SignalRecord
+from repro.embedding.autoencoder import AutoencoderConfig, ConvAutoencoder
+from repro.embedding.bisage import BiSAGE, BiSAGEConfig
+from repro.embedding.graphsage import GraphSAGE, GraphSAGEConfig
+from repro.embedding.matrix import DEFAULT_FILL_DBM, MatrixView
+from repro.embedding.mds import ClassicalMDS
+from repro.graph.builder import build_graph
+
+__all__ = [
+    "BiSAGEEmbedder",
+    "GraphSAGEEmbedder",
+    "AutoencoderEmbedder",
+    "MDSEmbedder",
+    "ImputedMatrixEmbedder",
+]
+
+
+class _GraphEmbedderBase:
+    """Shared graph-owning behaviour for BiSAGE/GraphSAGE adapters."""
+
+    def __init__(self, weight_offset: float = 120.0, refresh_every: int = 0):
+        if refresh_every < 0:
+            raise ValueError("refresh_every must be >= 0")
+        self.weight_offset = weight_offset
+        self.refresh_every = refresh_every
+        self.graph = None
+        self.model = None
+        self._observed_since_refresh = 0
+
+    def _fit_graph(self, records: Sequence[SignalRecord]):
+        if not records:
+            raise ValueError("cannot fit on an empty training set")
+        self.graph = build_graph(records, weight_offset=self.weight_offset)
+        self._num_training_records = self.graph.num_records
+        return self.graph
+
+    def training_embeddings(self) -> np.ndarray:
+        """Training-record embeddings for fitting the detector.
+
+        Computed through the *inductive* path (the one streamed records
+        take at inference) rather than read from the transductive
+        training cache: the detector's histograms must describe the same
+        distribution its inference-time queries come from, otherwise the
+        per-node random initial embeddings of training nodes shift the
+        score scale.
+        """
+        self._require_fitted()
+        return np.vstack([self.model.embed_record_node(i)
+                          for i in range(self._num_training_records)])
+
+    def embed(self, record: SignalRecord, attach: bool = True) -> np.ndarray | None:
+        """Embed a streamed record (Sec. IV-A).
+
+        With ``attach=True`` the record joins the graph permanently
+        (Algorithm 2 line 1).  Returns None when no sensed MAC is already
+        known to the graph — the footnote-3 case the caller must treat as
+        an outlier.
+        """
+        self._require_fitted()
+        known = any(self.graph.mac_index(mac) is not None for mac in record.readings)
+        if attach:
+            index = self.graph.add_record(record)
+            embedding = self.model.embed_record_node(index) if known else None
+            self._observed_since_refresh += 1
+            if self.refresh_every and self._observed_since_refresh >= self.refresh_every:
+                self.model.refresh_cache()
+                self._observed_since_refresh = 0
+        else:
+            embedding = self.model.embed_readings(record.readings) if known else None
+        return embedding
+
+    def _require_fitted(self) -> None:
+        if self.model is None or self.graph is None:
+            raise RuntimeError(f"{type(self).__name__} has not been fitted; call fit first")
+
+
+class BiSAGEEmbedder(_GraphEmbedderBase):
+    """The paper's embedder: weighted bipartite graph + BiSAGE."""
+
+    def __init__(self, config: BiSAGEConfig = BiSAGEConfig(),
+                 weight_offset: float = 120.0, refresh_every: int = 0):
+        super().__init__(weight_offset, refresh_every)
+        self.config = config
+
+    def fit(self, records: Sequence[SignalRecord]) -> "BiSAGEEmbedder":
+        graph = self._fit_graph(records)
+        self.model = BiSAGE(self.config).fit(graph)
+        return self
+
+
+class GraphSAGEEmbedder(_GraphEmbedderBase):
+    """Homogeneous GraphSAGE on the same bipartite graph (Table I row)."""
+
+    def __init__(self, config: GraphSAGEConfig = GraphSAGEConfig(),
+                 weight_offset: float = 120.0, refresh_every: int = 0):
+        super().__init__(weight_offset, refresh_every)
+        self.config = config
+
+    def fit(self, records: Sequence[SignalRecord]) -> "GraphSAGEEmbedder":
+        graph = self._fit_graph(records)
+        self.model = GraphSAGE(self.config).fit(graph)
+        return self
+
+
+class _MatrixEmbedderBase:
+    """Shared imputed-matrix behaviour (Sec. III-A missing-value padding)."""
+
+    def __init__(self, fill_value: float = DEFAULT_FILL_DBM, scale: bool = False):
+        self.fill_value = fill_value
+        self.scale = scale
+        self.view: MatrixView | None = None
+        self._training: np.ndarray | None = None
+
+    def _fit_view(self, records: Sequence[SignalRecord]) -> np.ndarray:
+        if not records:
+            raise ValueError("cannot fit on an empty training set")
+        self.view = MatrixView(records, fill_value=self.fill_value, scale=self.scale)
+        return self.view.transform(records)
+
+    def _vector(self, record: SignalRecord) -> np.ndarray | None:
+        if self.view is None:
+            raise RuntimeError(f"{type(self).__name__} has not been fitted; call fit first")
+        if self.view.coverage(record) == 0.0:
+            return None
+        return self.view.transform_one(record)
+
+    def training_embeddings(self) -> np.ndarray:
+        if self._training is None:
+            raise RuntimeError(f"{type(self).__name__} has not been fitted; call fit first")
+        return self._training
+
+
+class AutoencoderEmbedder(_MatrixEmbedderBase):
+    """1-D conv autoencoder over the imputed matrix (Table I row)."""
+
+    def __init__(self, config: AutoencoderConfig = AutoencoderConfig(),
+                 fill_value: float = DEFAULT_FILL_DBM):
+        super().__init__(fill_value, scale=True)
+        self.config = config
+        self.model: ConvAutoencoder | None = None
+
+    def fit(self, records: Sequence[SignalRecord]) -> "AutoencoderEmbedder":
+        x = self._fit_view(records)
+        self.model = ConvAutoencoder(x.shape[1], self.config).fit(x)
+        self._training = self.model.embed(x)
+        return self
+
+    def embed(self, record: SignalRecord, attach: bool = True) -> np.ndarray | None:
+        vector = self._vector(record)
+        if vector is None:
+            return None
+        return self.model.embed(vector[None, :])[0]
+
+
+class MDSEmbedder(_MatrixEmbedderBase):
+    """Classical MDS on 1-cosine distances of imputed vectors (Table I row)."""
+
+    def __init__(self, dim: int = 32, fill_value: float = DEFAULT_FILL_DBM):
+        super().__init__(fill_value, scale=False)
+        self.dim = dim
+        self.model: ClassicalMDS | None = None
+
+    def fit(self, records: Sequence[SignalRecord]) -> "MDSEmbedder":
+        x = self._fit_view(records)
+        self.model = ClassicalMDS(dim=self.dim).fit(x)
+        self._training = self.model.embedding_
+        return self
+
+    def embed(self, record: SignalRecord, attach: bool = True) -> np.ndarray | None:
+        vector = self._vector(record)
+        if vector is None:
+            return None
+        return self.model.transform(vector[None, :])[0]
+
+
+class ImputedMatrixEmbedder(_MatrixEmbedderBase):
+    """Identity 'embedding': the imputed vector itself.
+
+    This is "GEM without the embeddings by BiSAGE" in Fig. 7(a): the
+    enhanced histogram detector runs directly on -120-padded RSS vectors.
+    """
+
+    def __init__(self, fill_value: float = DEFAULT_FILL_DBM):
+        super().__init__(fill_value, scale=False)
+
+    def fit(self, records: Sequence[SignalRecord]) -> "ImputedMatrixEmbedder":
+        self._training = self._fit_view(records)
+        return self
+
+    def embed(self, record: SignalRecord, attach: bool = True) -> np.ndarray | None:
+        return self._vector(record)

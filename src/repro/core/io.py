@@ -1,0 +1,115 @@
+"""Persistence for record streams and datasets (JSON Lines).
+
+Real deployments collect scans on a device and evaluate elsewhere; these
+helpers serialise :class:`SignalRecord` streams and labelled test
+streams to a line-oriented JSON format that is diff-able, append-able
+and language-neutral.
+
+Format: one JSON object per line.
+``{"t": 12.0, "rss": {"aa:bb:..": -61.5}, "pos": [x, y, floor]}`` for
+records; labelled records add ``"inside": true`` and optional ``"meta"``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.core.records import LabeledRecord, SignalRecord
+
+__all__ = [
+    "record_to_dict",
+    "record_from_dict",
+    "save_records",
+    "load_records",
+    "save_labeled_records",
+    "load_labeled_records",
+]
+
+
+def record_to_dict(record: SignalRecord) -> dict:
+    """JSON-safe dict form of one record."""
+    out: dict = {"t": record.timestamp, "rss": dict(record.readings)}
+    if record.position is not None:
+        out["pos"] = list(record.position)
+    return out
+
+
+def record_from_dict(data: dict) -> SignalRecord:
+    """Inverse of :func:`record_to_dict`; validates required keys."""
+    if "rss" not in data:
+        raise ValueError("record object missing 'rss' field")
+    position = tuple(data["pos"]) if "pos" in data else None
+    return SignalRecord(dict(data["rss"]), timestamp=float(data.get("t", 0.0)),
+                        position=position)
+
+
+def save_records(records: Iterable[SignalRecord], path: str | Path) -> int:
+    """Write records as JSONL; returns the number written."""
+    path = Path(path)
+    count = 0
+    with path.open("w") as handle:
+        for record in records:
+            handle.write(json.dumps(record_to_dict(record)) + "\n")
+            count += 1
+    return count
+
+
+def load_records(path: str | Path) -> list[SignalRecord]:
+    """Read a JSONL record stream written by :func:`save_records`."""
+    path = Path(path)
+    records = []
+    with path.open() as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(record_from_dict(json.loads(line)))
+            except (json.JSONDecodeError, ValueError) as error:
+                raise ValueError(f"{path}:{line_number}: bad record line: {error}") from error
+    return records
+
+
+def save_labeled_records(items: Sequence[LabeledRecord], path: str | Path) -> int:
+    """Write a labelled test stream as JSONL."""
+    path = Path(path)
+    with path.open("w") as handle:
+        for item in items:
+            data = record_to_dict(item.record)
+            data["inside"] = bool(item.inside)
+            if item.meta:
+                data["meta"] = _json_safe(item.meta)
+            handle.write(json.dumps(data) + "\n")
+    return len(items)
+
+
+def load_labeled_records(path: str | Path) -> list[LabeledRecord]:
+    """Read a labelled stream written by :func:`save_labeled_records`."""
+    path = Path(path)
+    items = []
+    with path.open() as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+                record = record_from_dict(data)
+                items.append(LabeledRecord(record, inside=bool(data["inside"]),
+                                           meta=data.get("meta", {})))
+            except (json.JSONDecodeError, KeyError, ValueError) as error:
+                raise ValueError(f"{path}:{line_number}: bad labelled line: {error}") from error
+    return items
+
+
+def _json_safe(meta: dict) -> dict:
+    """Best-effort conversion of metadata values to JSON-safe types."""
+    out = {}
+    for key, value in meta.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            out[str(key)] = value
+        else:
+            out[str(key)] = str(value)
+    return out

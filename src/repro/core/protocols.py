@@ -1,0 +1,60 @@
+"""Protocols shared by geofencing pipelines, embedders and detectors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.core.records import SignalRecord
+
+__all__ = ["GeofenceDecision", "GeofenceModel", "RecordEmbedder", "Detector"]
+
+
+@dataclass(frozen=True)
+class GeofenceDecision:
+    """Outcome of one in-out inference (Algorithm 2).
+
+    ``inside`` is the prediction (True = in-premises); ``score`` is the
+    model's outlier score (higher = more outlying, +inf when the record
+    could not be embedded at all); ``confident`` marks a highly confident
+    inlier; ``updated`` records whether the observation was absorbed into
+    the model.
+    """
+
+    inside: bool
+    score: float
+    confident: bool = False
+    updated: bool = False
+
+
+@runtime_checkable
+class RecordEmbedder(Protocol):
+    """Maps variable-length signal records to fixed-length vectors."""
+
+    def fit(self, records: Sequence[SignalRecord]) -> "RecordEmbedder": ...
+
+    def training_embeddings(self) -> np.ndarray: ...
+
+    def embed(self, record: SignalRecord, attach: bool = True) -> np.ndarray | None: ...
+
+
+@runtime_checkable
+class Detector(Protocol):
+    """One-class detector over embeddings (higher score = more outlying)."""
+
+    def fit(self, embeddings: np.ndarray) -> "Detector": ...
+
+    def decision_scores(self, embeddings: np.ndarray) -> np.ndarray: ...
+
+    def is_outlier(self, embeddings: np.ndarray) -> np.ndarray: ...
+
+
+@runtime_checkable
+class GeofenceModel(Protocol):
+    """End-to-end geofencing system: train on in-premises records, stream."""
+
+    def fit(self, records: Sequence[SignalRecord]) -> "GeofenceModel": ...
+
+    def observe(self, record: SignalRecord) -> GeofenceDecision: ...

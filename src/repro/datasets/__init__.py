@@ -1,0 +1,27 @@
+"""Dataset generators and loaders for every evaluation scenario."""
+
+from repro.datasets.mall import mall_dataset, mall_scenario
+from repro.datasets.synthetic import GeofenceDataset, generate_dataset, remove_macs
+from repro.datasets.uji import (
+    load_uji_csv,
+    uji_building_split,
+    uji_like_dataset,
+    uji_like_scenario,
+)
+from repro.datasets.users import USER_SPECS, UserSpec, user_dataset, user_scenario
+
+__all__ = [
+    "GeofenceDataset",
+    "USER_SPECS",
+    "UserSpec",
+    "generate_dataset",
+    "load_uji_csv",
+    "mall_dataset",
+    "mall_scenario",
+    "remove_macs",
+    "uji_building_split",
+    "uji_like_dataset",
+    "uji_like_scenario",
+    "user_dataset",
+    "user_scenario",
+]

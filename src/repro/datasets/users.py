@@ -1,0 +1,74 @@
+"""The ten-user study worlds (Table II).
+
+Each user in the paper carried a phone or watch in a different home:
+areas 10–200 m², between 12 and 73 ambient MACs sensed.  The specs
+below reconstruct those worlds: AP counts are tuned so the *sensed*
+MAC count lands near the paper's column (each AP carries one or two
+MACs depending on its bands, and weak far APs are heard sporadically).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.synthetic import GeofenceDataset, generate_dataset
+from repro.rf.scenarios import SiteScenario, home_scenario
+
+__all__ = ["UserSpec", "USER_SPECS", "user_scenario", "user_dataset"]
+
+
+@dataclass(frozen=True)
+class UserSpec:
+    """One row of Table II, as generation parameters."""
+
+    user_id: int
+    area_m2: float
+    paper_macs: int          # the #MACs column of Table II
+    aps_inside: int
+    aps_near: int
+    aps_far: int
+    detached: bool = False
+
+
+# aps_* counts chosen so sensed MAC counts approximate the paper's column.
+USER_SPECS: list[UserSpec] = [
+    UserSpec(1, 10.0, 20, aps_inside=1, aps_near=7, aps_far=4),
+    UserSpec(2, 10.0, 26, aps_inside=1, aps_near=10, aps_far=5),
+    UserSpec(3, 50.0, 33, aps_inside=1, aps_near=13, aps_far=6),
+    UserSpec(4, 50.0, 16, aps_inside=1, aps_near=5, aps_far=4),
+    UserSpec(5, 50.0, 20, aps_inside=1, aps_near=7, aps_far=4),
+    UserSpec(6, 100.0, 65, aps_inside=2, aps_near=26, aps_far=10),
+    UserSpec(7, 100.0, 45, aps_inside=2, aps_near=17, aps_far=8),
+    UserSpec(8, 100.0, 73, aps_inside=2, aps_near=30, aps_far=11),
+    UserSpec(9, 100.0, 57, aps_inside=2, aps_near=22, aps_far=9),
+    UserSpec(10, 200.0, 12, aps_inside=2, aps_near=4, aps_far=3, detached=True),
+]
+
+
+def user_scenario(user_id: int, seed: int | None = None) -> SiteScenario:
+    """The simulated world of one Table II user."""
+    spec = _spec(user_id)
+    scenario_seed = seed if seed is not None else 1000 + user_id
+    return home_scenario(area_m2=spec.area_m2, aps_inside=spec.aps_inside,
+                         aps_near=spec.aps_near, aps_far=spec.aps_far,
+                         detached=spec.detached, seed=scenario_seed,
+                         name=f"user-{user_id}")
+
+
+def user_dataset(user_id: int, seed: int | None = None, **generate_kwargs) -> GeofenceDataset:
+    """Train/test dataset for one user, with the paper's walk protocol."""
+    spec = _spec(user_id)
+    data_seed = seed if seed is not None else 2000 + user_id
+    scenario = user_scenario(user_id, seed=None if seed is None else seed + 17)
+    dataset = generate_dataset(scenario, seed=data_seed, **generate_kwargs)
+    dataset.meta["user_id"] = user_id
+    dataset.meta["paper_macs"] = spec.paper_macs
+    dataset.meta["area_m2"] = spec.area_m2
+    return dataset
+
+
+def _spec(user_id: int) -> UserSpec:
+    for spec in USER_SPECS:
+        if spec.user_id == user_id:
+            return spec
+    raise ValueError(f"unknown user id {user_id}; valid ids are 1..{len(USER_SPECS)}")

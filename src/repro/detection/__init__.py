@@ -1,0 +1,17 @@
+"""One-class outlier detectors over record embeddings."""
+
+from repro.detection.feature_bagging import FeatureBagging
+from repro.detection.histogram import HistogramConfig, HistogramDetector
+from repro.detection.iforest import IsolationForest
+from repro.detection.lof import LocalOutlierFactor
+from repro.detection.threshold import MinMaxNormalizer, contamination_threshold
+
+__all__ = [
+    "FeatureBagging",
+    "HistogramConfig",
+    "HistogramDetector",
+    "IsolationForest",
+    "LocalOutlierFactor",
+    "MinMaxNormalizer",
+    "contamination_threshold",
+]

@@ -1,0 +1,119 @@
+"""Isolation forest (Liu, Ting & Zhou, ICDM 2008), from scratch.
+
+"BiSAGE + iForest" row of Table I.  Trees are grown on subsamples with
+uniformly random split dimensions and split values; the anomaly score is
+``2^(-E[path length] / c(ψ))`` with the usual harmonic-number
+normaliser.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detection.threshold import contamination_threshold
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_positive_int, check_probability
+
+__all__ = ["IsolationForest"]
+
+_EULER_GAMMA = 0.5772156649015329
+
+
+def _average_path_length(n: int | np.ndarray) -> np.ndarray:
+    """c(n): expected path length of an unsuccessful BST search."""
+    n = np.asarray(n, dtype=np.float64)
+    out = np.zeros_like(n)
+    big = n > 2
+    out[big] = 2.0 * (np.log(n[big] - 1.0) + _EULER_GAMMA) - 2.0 * (n[big] - 1.0) / n[big]
+    out[n == 2] = 1.0
+    return out
+
+
+class _Node:
+    __slots__ = ("feature", "value", "left", "right", "size")
+
+    def __init__(self, feature=None, value=None, left=None, right=None, size=0):
+        self.feature = feature
+        self.value = value
+        self.left = left
+        self.right = right
+        self.size = size
+
+
+class IsolationForest:
+    """Ensemble of isolation trees over embedding vectors."""
+
+    def __init__(self, n_trees: int = 100, subsample_size: int = 256,
+                 contamination: float = 0.05, seed=None):
+        check_positive_int(n_trees, "n_trees")
+        check_positive_int(subsample_size, "subsample_size")
+        check_probability(contamination, "contamination")
+        self.n_trees = n_trees
+        self.subsample_size = subsample_size
+        self.contamination = contamination
+        self._rng = as_rng(seed)
+        self._trees: list[_Node] = []
+        self._subsample_used = 0
+        self.threshold_: float | None = None
+        self.train_scores_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "IsolationForest":
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        if len(x) < 2:
+            raise ValueError("isolation forest requires at least two samples")
+        self._subsample_used = min(self.subsample_size, len(x))
+        height_limit = int(np.ceil(np.log2(max(self._subsample_used, 2))))
+        self._trees = []
+        for _ in range(self.n_trees):
+            sample_idx = self._rng.choice(len(x), size=self._subsample_used, replace=False)
+            self._trees.append(self._grow(x[sample_idx], 0, height_limit))
+        self.train_scores_ = self.decision_scores(x)
+        self.threshold_ = contamination_threshold(self.train_scores_, self.contamination)
+        return self
+
+    def _grow(self, x: np.ndarray, depth: int, limit: int) -> _Node:
+        n = len(x)
+        if depth >= limit or n <= 1:
+            return _Node(size=n)
+        # Pick among features that still vary in this partition.
+        spans = x.max(axis=0) - x.min(axis=0)
+        varying = np.nonzero(spans > 0)[0]
+        if varying.size == 0:
+            return _Node(size=n)
+        feature = int(self._rng.choice(varying))
+        low, high = x[:, feature].min(), x[:, feature].max()
+        value = float(self._rng.uniform(low, high))
+        mask = x[:, feature] < value
+        if mask.all() or (~mask).all():
+            return _Node(size=n)
+        return _Node(feature=feature, value=value,
+                     left=self._grow(x[mask], depth + 1, limit),
+                     right=self._grow(x[~mask], depth + 1, limit),
+                     size=n)
+
+    def _path_length(self, row: np.ndarray, node: _Node, depth: int) -> float:
+        while node.feature is not None:
+            node = node.left if row[node.feature] < node.value else node.right
+            depth += 1
+        if node.size > 1:
+            return depth + float(_average_path_length(np.asarray([node.size]))[0])
+        return float(depth)
+
+    def decision_scores(self, x: np.ndarray) -> np.ndarray:
+        """Anomaly scores in (0, 1); higher = easier to isolate = outlier."""
+        self._require_fitted()
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        depths = np.empty((len(x), len(self._trees)))
+        for t, tree in enumerate(self._trees):
+            for i, row in enumerate(x):
+                depths[i, t] = self._path_length(row, tree, 0)
+        c = float(_average_path_length(np.asarray([self._subsample_used]))[0])
+        c = max(c, 1e-12)
+        return 2.0 ** (-depths.mean(axis=1) / c)
+
+    def is_outlier(self, x: np.ndarray) -> np.ndarray:
+        return self.decision_scores(x) > self.threshold_
+
+    def _require_fitted(self) -> None:
+        if not self._trees:
+            raise RuntimeError("IsolationForest has not been fitted; call fit first")

@@ -1,0 +1,19 @@
+"""Record embedders: BiSAGE (the paper's) and comparison embedders."""
+
+from repro.embedding.autoencoder import AutoencoderConfig, ConvAutoencoder
+from repro.embedding.bisage import BiSAGE, BiSAGEConfig
+from repro.embedding.graphsage import GraphSAGE, GraphSAGEConfig
+from repro.embedding.matrix import DEFAULT_FILL_DBM, MatrixView
+from repro.embedding.mds import ClassicalMDS
+
+__all__ = [
+    "AutoencoderConfig",
+    "BiSAGE",
+    "BiSAGEConfig",
+    "ClassicalMDS",
+    "ConvAutoencoder",
+    "DEFAULT_FILL_DBM",
+    "GraphSAGE",
+    "GraphSAGEConfig",
+    "MatrixView",
+]

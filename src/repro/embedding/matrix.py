@@ -1,0 +1,85 @@
+"""Fixed-length matrix view of signal records (the representation GEM avoids).
+
+The comparison systems (autoencoder, MDS, "GEM without BiSAGE",
+SignatureHome/INOA internals) need records as equal-length vectors; the
+missing entries are imputed with an arbitrarily small RSS, the paper's
+-120 dBm (Sec. III-A, V).  This module centralises that conversion so
+every baseline shares identical imputation behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.records import SignalRecord, unique_macs
+
+__all__ = ["MatrixView", "DEFAULT_FILL_DBM"]
+
+DEFAULT_FILL_DBM = -120.0
+
+
+class MatrixView:
+    """Maps records onto a fixed MAC universe with missing-value imputation.
+
+    Parameters
+    ----------
+    records:
+        Training records; their MAC union defines the column universe.
+    fill_value:
+        RSS used for MACs absent from a record (paper: -120 dBm).
+    macs:
+        Optional explicit column universe (overrides the union).
+    scale:
+        If True, linearly rescale RSS into [0, 1] with ``fill_value``
+        mapping to 0 — convenient for neural models.
+    """
+
+    def __init__(self, records: Iterable[SignalRecord] | None = None,
+                 fill_value: float = DEFAULT_FILL_DBM,
+                 macs: Sequence[str] | None = None,
+                 scale: bool = False,
+                 scale_max: float = -20.0):
+        if macs is None:
+            if records is None:
+                raise ValueError("provide either records or an explicit MAC list")
+            macs = sorted(unique_macs(records))
+        if not macs:
+            raise ValueError("MAC universe is empty; cannot build a matrix view")
+        self.macs: list[str] = list(macs)
+        self.fill_value = float(fill_value)
+        self.scale = scale
+        self.scale_max = float(scale_max)
+        if scale and self.scale_max <= self.fill_value:
+            raise ValueError("scale_max must exceed fill_value")
+        self._column: dict[str, int] = {mac: i for i, mac in enumerate(self.macs)}
+
+    @property
+    def num_features(self) -> int:
+        return len(self.macs)
+
+    def transform_one(self, record: SignalRecord) -> np.ndarray:
+        """One record -> fixed-length vector; unknown MACs are dropped."""
+        row = np.full(self.num_features, self.fill_value, dtype=np.float64)
+        for mac, rss in record.readings.items():
+            column = self._column.get(mac)
+            if column is not None:
+                row[column] = rss
+        if self.scale:
+            row = (row - self.fill_value) / (self.scale_max - self.fill_value)
+            row = np.clip(row, 0.0, 1.0)
+        return row
+
+    def transform(self, records: Iterable[SignalRecord]) -> np.ndarray:
+        rows = [self.transform_one(record) for record in records]
+        if not rows:
+            return np.empty((0, self.num_features))
+        return np.vstack(rows)
+
+    def coverage(self, record: SignalRecord) -> float:
+        """Fraction of the record's readings that land in known columns."""
+        if not record.readings:
+            return 0.0
+        known = sum(1 for mac in record.readings if mac in self._column)
+        return known / len(record.readings)

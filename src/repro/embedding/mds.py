@@ -1,0 +1,101 @@
+"""Classical multidimensional scaling baseline ("MDS + OD", Sec. V).
+
+Following the paper's convention, pairwise distance between imputed
+record vectors is ``1 - cosine similarity``.  Training embeds the n×n
+distance matrix by double centering + eigendecomposition (Torgerson);
+streamed records are embedded with the Nyström / Gower out-of-sample
+extension (Bengio et al., 2004) so the baseline can participate in the
+online protocol.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int
+
+__all__ = ["ClassicalMDS", "cosine_distance_matrix", "cosine_distances_to"]
+
+
+def _row_normalize(x: np.ndarray, eps: float = 1e-12) -> np.ndarray:
+    norms = np.linalg.norm(x, axis=1, keepdims=True)
+    return x / np.maximum(norms, eps)
+
+
+def cosine_distance_matrix(x: np.ndarray) -> np.ndarray:
+    """Pairwise ``1 - cosine`` distances between rows of ``x``."""
+    unit = _row_normalize(np.asarray(x, dtype=np.float64))
+    similarity = np.clip(unit @ unit.T, -1.0, 1.0)
+    distances = 1.0 - similarity
+    np.fill_diagonal(distances, 0.0)
+    return np.maximum(distances, 0.0)
+
+
+def cosine_distances_to(x_train: np.ndarray, x_new: np.ndarray) -> np.ndarray:
+    """``1 - cosine`` distances from each new row to each training row."""
+    unit_train = _row_normalize(np.asarray(x_train, dtype=np.float64))
+    unit_new = _row_normalize(np.atleast_2d(np.asarray(x_new, dtype=np.float64)))
+    similarity = np.clip(unit_new @ unit_train.T, -1.0, 1.0)
+    return np.maximum(1.0 - similarity, 0.0)
+
+
+class ClassicalMDS:
+    """Torgerson MDS with Nyström out-of-sample extension."""
+
+    def __init__(self, dim: int = 32):
+        check_positive_int(dim, "dim")
+        self.dim = dim
+        self._x_train: np.ndarray | None = None
+        self._eigenvectors: np.ndarray | None = None
+        self._eigenvalues: np.ndarray | None = None
+        self._sq_row_means: np.ndarray | None = None
+        self._sq_grand_mean: float = 0.0
+        self.embedding_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "ClassicalMDS":
+        """Fit on an (n, features) imputed matrix; stores the training embedding."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or len(x) < 2:
+            raise ValueError("MDS requires at least two training rows")
+        distances = cosine_distance_matrix(x)
+        squared = distances**2
+        n = len(x)
+        centering = np.eye(n) - np.ones((n, n)) / n
+        gram = -0.5 * centering @ squared @ centering
+        gram = (gram + gram.T) / 2.0  # enforce symmetry against rounding
+        eigenvalues, eigenvectors = np.linalg.eigh(gram)
+        order = np.argsort(eigenvalues)[::-1]
+        keep = order[: self.dim]
+        values = np.maximum(eigenvalues[keep], 0.0)
+        vectors = eigenvectors[:, keep]
+
+        self._x_train = x.copy()
+        self._eigenvalues = values
+        self._eigenvectors = vectors
+        self._sq_row_means = squared.mean(axis=1)
+        self._sq_grand_mean = float(squared.mean())
+        embedding = vectors * np.sqrt(values)[None, :]
+        self.embedding_ = self._pad(embedding)
+        return self
+
+    def _pad(self, embedding: np.ndarray) -> np.ndarray:
+        """Zero-pad when fewer than ``dim`` positive eigenvalues exist."""
+        if embedding.shape[1] >= self.dim:
+            return embedding[:, : self.dim]
+        pad = np.zeros((embedding.shape[0], self.dim - embedding.shape[1]))
+        return np.hstack([embedding, pad])
+
+    def transform(self, x_new: np.ndarray) -> np.ndarray:
+        """Nyström embedding of new rows against the training set."""
+        if self._x_train is None:
+            raise RuntimeError("MDS has not been fitted; call fit first")
+        d_new = cosine_distances_to(self._x_train, x_new) ** 2
+        # Gower/Bengio centred kernel against training landmarks.
+        kernel = -0.5 * (d_new
+                         - self._sq_row_means[None, :]
+                         - d_new.mean(axis=1, keepdims=True)
+                         + self._sq_grand_mean)
+        values = self._eigenvalues
+        safe = np.where(values > 1e-12, values, np.inf)
+        coords = kernel @ self._eigenvectors / np.sqrt(safe)[None, :]
+        return self._pad(coords)

@@ -1,0 +1,37 @@
+"""Evaluation: metrics, ROC, the streaming harness, timing, reporting."""
+
+from repro.eval.algorithms import ALGORITHM_NAMES, make_algorithm
+from repro.eval.harness import EvaluationResult, evaluate_streaming, score_stream
+from repro.eval.metrics import (
+    ConfusionCounts,
+    InOutMetrics,
+    confusion_from_pairs,
+    metrics_from_pairs,
+    summarize_metrics,
+)
+from repro.eval.reporting import format_mean_min_max, format_series, format_table, metrics_row
+from repro.eval.roc import RocCurve, auc, roc_curve
+from repro.eval.timing import InferenceTiming, measure_batch_update, measure_inference_breakdown
+
+__all__ = [
+    "ALGORITHM_NAMES",
+    "ConfusionCounts",
+    "EvaluationResult",
+    "InOutMetrics",
+    "InferenceTiming",
+    "RocCurve",
+    "auc",
+    "confusion_from_pairs",
+    "evaluate_streaming",
+    "format_mean_min_max",
+    "format_series",
+    "format_table",
+    "make_algorithm",
+    "measure_batch_update",
+    "measure_inference_breakdown",
+    "metrics_from_pairs",
+    "metrics_row",
+    "roc_curve",
+    "score_stream",
+    "summarize_metrics",
+]

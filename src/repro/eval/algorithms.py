@@ -1,0 +1,107 @@
+"""Factory for every algorithm arm in the paper's evaluation.
+
+Table I compares nine systems; Fig. 7 adds two ablations.  This module
+builds each one from a name so the benchmark scripts stay declarative.
+All arms share the embedding dimension and seeds so differences come
+from the algorithms, not the budgets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.baselines.inoa import INOA
+from repro.baselines.signature_home import SignatureHome
+from repro.core.config import GEMConfig
+from repro.core.embedders import (
+    AutoencoderEmbedder,
+    BiSAGEEmbedder,
+    GraphSAGEEmbedder,
+    ImputedMatrixEmbedder,
+    MDSEmbedder,
+)
+from repro.core.gem import GEM, EmbeddingGeofencer
+from repro.detection.histogram import HistogramConfig, HistogramDetector
+from repro.detection.feature_bagging import FeatureBagging
+from repro.detection.iforest import IsolationForest
+from repro.detection.lof import LocalOutlierFactor
+from repro.embedding.autoencoder import AutoencoderConfig
+from repro.embedding.bisage import BiSAGEConfig
+from repro.embedding.graphsage import GraphSAGEConfig
+
+__all__ = ["ALGORITHM_NAMES", "make_algorithm"]
+
+ALGORITHM_NAMES = (
+    "GEM",
+    "SignatureHome",
+    "INOA",
+    "GraphSAGE+OD",
+    "Autoencoder+OD",
+    "MDS+OD",
+    "BiSAGE+FeatureBagging",
+    "BiSAGE+iForest",
+    "BiSAGE+LOF",
+    "GEM(no-BiSAGE)",     # Fig. 7(a): imputed matrix straight into OD
+    "GEM(plain-HBOS)",    # Fig. 7(b): no softmax enhancement, no update
+)
+
+
+def make_algorithm(name: str, seed: int = 0, dim: int = 32,
+                   gem_config: GEMConfig | None = None):
+    """Instantiate one evaluation arm by its paper name.
+
+    ``gem_config`` (when given) seeds the shared hyper-parameters; the
+    per-arm constructor overrides what the arm needs.
+    """
+    base = gem_config or GEMConfig()
+    bisage_cfg = replace(base.bisage, dim=dim, seed=seed)
+    hist_cfg = base.histogram
+
+    if name == "GEM":
+        return GEM(replace(base, bisage=bisage_cfg))
+    if name == "SignatureHome":
+        return SignatureHome()
+    if name == "INOA":
+        return INOA()
+    if name == "GraphSAGE+OD":
+        sage_cfg = GraphSAGEConfig(dim=dim, seed=seed,
+                                   num_layers=bisage_cfg.num_layers,
+                                   sample_size=bisage_cfg.sample_size,
+                                   activation=bisage_cfg.activation,
+                                   learning_rate=bisage_cfg.learning_rate,
+                                   epochs=bisage_cfg.epochs,
+                                   batch_pairs=bisage_cfg.batch_pairs,
+                                   walk=bisage_cfg.walk)
+        return EmbeddingGeofencer(GraphSAGEEmbedder(sage_cfg, weight_offset=base.weight_offset),
+                                  HistogramDetector(hist_cfg),
+                                  self_update=base.self_update,
+                                  batch_update_size=base.batch_update_size)
+    if name == "Autoencoder+OD":
+        return EmbeddingGeofencer(AutoencoderEmbedder(AutoencoderConfig(dim=dim, seed=seed)),
+                                  HistogramDetector(hist_cfg),
+                                  self_update=base.self_update,
+                                  batch_update_size=base.batch_update_size)
+    if name == "MDS+OD":
+        return EmbeddingGeofencer(MDSEmbedder(dim=dim),
+                                  HistogramDetector(hist_cfg),
+                                  self_update=base.self_update,
+                                  batch_update_size=base.batch_update_size)
+    if name == "BiSAGE+FeatureBagging":
+        return EmbeddingGeofencer(BiSAGEEmbedder(bisage_cfg, weight_offset=base.weight_offset),
+                                  FeatureBagging(seed=seed), self_update=False)
+    if name == "BiSAGE+iForest":
+        return EmbeddingGeofencer(BiSAGEEmbedder(bisage_cfg, weight_offset=base.weight_offset),
+                                  IsolationForest(seed=seed), self_update=False)
+    if name == "BiSAGE+LOF":
+        return EmbeddingGeofencer(BiSAGEEmbedder(bisage_cfg, weight_offset=base.weight_offset),
+                                  LocalOutlierFactor(), self_update=False)
+    if name == "GEM(no-BiSAGE)":
+        return EmbeddingGeofencer(ImputedMatrixEmbedder(),
+                                  HistogramDetector(hist_cfg),
+                                  self_update=base.self_update,
+                                  batch_update_size=base.batch_update_size)
+    if name == "GEM(plain-HBOS)":
+        plain = replace(hist_cfg, enhanced=False)
+        return EmbeddingGeofencer(BiSAGEEmbedder(bisage_cfg, weight_offset=base.weight_offset),
+                                  HistogramDetector(plain), self_update=False)
+    raise ValueError(f"unknown algorithm {name!r}; known: {ALGORITHM_NAMES}")

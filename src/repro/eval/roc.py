@@ -1,0 +1,59 @@
+"""ROC curves and AUC over outlier scores (Fig. 7(b))."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RocCurve", "roc_curve", "auc"]
+
+
+@dataclass(frozen=True)
+class RocCurve:
+    """A ROC curve: parallel FPR/TPR arrays plus the thresholds used."""
+
+    fpr: np.ndarray
+    tpr: np.ndarray
+    thresholds: np.ndarray
+
+    @property
+    def auc(self) -> float:
+        return auc(self.fpr, self.tpr)
+
+
+def roc_curve(scores, is_positive) -> RocCurve:
+    """ROC over decision scores, higher score = predicted positive.
+
+    For the paper's Fig. 7(b), scores are outlier scores and the positive
+    class is "outside".  Handles infinite scores (records that could not
+    be embedded are +inf: always flagged).
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    labels = np.asarray(is_positive, dtype=bool)
+    if scores.shape != labels.shape or scores.ndim != 1:
+        raise ValueError("scores and labels must be matching 1-D arrays")
+    if labels.all() or (~labels).all():
+        raise ValueError("ROC needs both positive and negative samples")
+    order = np.argsort(-scores, kind="stable")
+    sorted_labels = labels[order]
+    tps = np.cumsum(sorted_labels)
+    fps = np.cumsum(~sorted_labels)
+    # Collapse ties: keep the last point of each distinct score value.
+    sorted_scores = scores[order]
+    distinct = np.r_[np.nonzero(np.diff(sorted_scores))[0], len(sorted_scores) - 1]
+    tpr = tps[distinct] / labels.sum()
+    fpr = fps[distinct] / (~labels).sum()
+    tpr = np.r_[0.0, tpr]
+    fpr = np.r_[0.0, fpr]
+    thresholds = np.r_[np.inf, sorted_scores[distinct]]
+    return RocCurve(fpr=fpr, tpr=tpr, thresholds=thresholds)
+
+
+def auc(fpr, tpr) -> float:
+    """Area under a curve via the trapezoid rule (monotone fpr assumed)."""
+    fpr = np.asarray(fpr, dtype=np.float64)
+    tpr = np.asarray(tpr, dtype=np.float64)
+    if len(fpr) != len(tpr) or len(fpr) < 2:
+        raise ValueError("need at least two curve points")
+    return float(np.trapezoid(tpr, fpr))

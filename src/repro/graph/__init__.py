@@ -1,0 +1,19 @@
+"""Dynamic weighted bipartite graph substrate (Sec. III-A)."""
+
+from repro.graph.bipartite import MAC, RECORD, WeightedBipartiteGraph
+from repro.graph.builder import build_graph
+from repro.graph.sampling import AliasTable, NegativeSampler, WeightedNeighborSampler
+from repro.graph.walks import RandomWalker, WalkConfig, walk_pairs
+
+__all__ = [
+    "MAC",
+    "RECORD",
+    "WeightedBipartiteGraph",
+    "build_graph",
+    "AliasTable",
+    "NegativeSampler",
+    "WeightedNeighborSampler",
+    "RandomWalker",
+    "WalkConfig",
+    "walk_pairs",
+]

@@ -1,0 +1,185 @@
+"""A dynamic weighted bipartite graph of signal records and MACs.
+
+Partition ``U`` holds signal-record nodes, partition ``V`` holds sensed
+MAC-address nodes (Sec. III-A).  The graph supports the online regime of
+Sec. IV: new record nodes (and previously unseen MAC nodes) can be
+appended at any time, which is what makes BiSAGE's inductive embedding
+prediction possible.
+
+Nodes are referred to by ``(side, index)`` pairs where ``side`` is
+:data:`RECORD` (``"U"``) or :data:`MAC` (``"V"``) and indices are dense
+per-partition integers assigned in insertion order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.core.records import SignalRecord
+
+__all__ = ["RECORD", "MAC", "NodeRef", "WeightedBipartiteGraph"]
+
+RECORD = "U"
+MAC = "V"
+
+NodeRef = tuple  # (side, index)
+
+
+class WeightedBipartiteGraph:
+    """Adjacency-list weighted bipartite graph.
+
+    Parameters
+    ----------
+    weight_offset:
+        The constant ``c`` of Eq. 2; edge weight is ``RSS + c`` and must
+        come out strictly positive (the paper uses c = 120 dBm).
+    """
+
+    def __init__(self, weight_offset: float = 120.0):
+        if weight_offset <= 0:
+            raise ValueError(f"weight_offset must be positive, got {weight_offset}")
+        self.weight_offset = float(weight_offset)
+        self._mac_index: dict[str, int] = {}
+        self._mac_names: list[str] = []
+        # adjacency: per record node, parallel arrays of mac indices / weights
+        self._record_neighbors: list[np.ndarray] = []
+        self._record_weights: list[np.ndarray] = []
+        # reverse adjacency built incrementally as python lists
+        self._mac_neighbors: list[list[int]] = []
+        self._mac_weights: list[list[float]] = []
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def edge_weight_of_rss(self, rss: float) -> float:
+        """Eq. 1–2: ``w = f(RSS) = RSS + c``, validated positive."""
+        weight = rss + self.weight_offset
+        if weight <= 0:
+            raise ValueError(
+                f"RSS {rss} with offset {self.weight_offset} gives non-positive weight; "
+                "increase weight_offset (paper: c > max |RSS|)"
+            )
+        return weight
+
+    def add_record(self, record: SignalRecord) -> int:
+        """Append a record node with edges to its sensed MACs.
+
+        Unseen MAC addresses are added as new ``V`` nodes (the dynamic
+        behaviour of Sec. III-A/IV-A).  Returns the new record index.
+        Empty records are allowed as isolated nodes; GEM treats them as
+        outliers upstream.
+        """
+        record_idx = len(self._record_neighbors)
+        mac_indices = []
+        weights = []
+        for mac, rss in record.readings.items():
+            mac_idx = self._mac_index.get(mac)
+            if mac_idx is None:
+                mac_idx = self._intern_mac(mac)
+            weight = self.edge_weight_of_rss(rss)
+            mac_indices.append(mac_idx)
+            weights.append(weight)
+            self._mac_neighbors[mac_idx].append(record_idx)
+            self._mac_weights[mac_idx].append(weight)
+        self._record_neighbors.append(np.asarray(mac_indices, dtype=np.int64))
+        self._record_weights.append(np.asarray(weights, dtype=np.float64))
+        self._num_edges += len(mac_indices)
+        return record_idx
+
+    def add_records(self, records: Iterable[SignalRecord]) -> list[int]:
+        return [self.add_record(record) for record in records]
+
+    def _intern_mac(self, mac: str) -> int:
+        idx = len(self._mac_names)
+        self._mac_index[mac] = idx
+        self._mac_names.append(mac)
+        self._mac_neighbors.append([])
+        self._mac_weights.append([])
+        return idx
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_records(self) -> int:
+        return len(self._record_neighbors)
+
+    @property
+    def num_macs(self) -> int:
+        return len(self._mac_names)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def mac_name(self, index: int) -> str:
+        return self._mac_names[index]
+
+    def mac_index(self, mac: str) -> int | None:
+        """Index of a MAC node, or None if never seen."""
+        return self._mac_index.get(mac)
+
+    def known_macs(self) -> set[str]:
+        return set(self._mac_index)
+
+    def neighbors(self, side: str, index: int) -> tuple[np.ndarray, np.ndarray]:
+        """(neighbor indices in the other partition, edge weights)."""
+        if side == RECORD:
+            return self._record_neighbors[index], self._record_weights[index]
+        if side == MAC:
+            return (np.asarray(self._mac_neighbors[index], dtype=np.int64),
+                    np.asarray(self._mac_weights[index], dtype=np.float64))
+        raise ValueError(f"side must be {RECORD!r} or {MAC!r}, got {side!r}")
+
+    def degree(self, side: str, index: int) -> int:
+        neighbors, _ = self.neighbors(side, index)
+        return len(neighbors)
+
+    def weighted_degree(self, side: str, index: int) -> float:
+        _, weights = self.neighbors(side, index)
+        return float(weights.sum()) if len(weights) else 0.0
+
+    def nodes(self) -> Iterator[NodeRef]:
+        """All nodes, records first then MACs."""
+        for i in range(self.num_records):
+            yield (RECORD, i)
+        for j in range(self.num_macs):
+            yield (MAC, j)
+
+    def degrees(self) -> tuple[np.ndarray, np.ndarray]:
+        """(record degrees, MAC degrees) as arrays."""
+        record_deg = np.asarray([len(n) for n in self._record_neighbors], dtype=np.int64)
+        mac_deg = np.asarray([len(n) for n in self._mac_neighbors], dtype=np.int64)
+        return record_deg, mac_deg
+
+    def edges(self) -> Iterator[tuple[int, int, float]]:
+        """All (record index, mac index, weight) triples."""
+        for u, (neighbors, weights) in enumerate(zip(self._record_neighbors, self._record_weights)):
+            for v, w in zip(neighbors, weights):
+                yield u, int(v), float(w)
+
+    def record_adjacency(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Flat COO arrays (record_rows, mac_cols, weights) over all edges."""
+        if self._num_edges == 0:
+            empty = np.empty(0)
+            return empty.astype(np.int64), empty.astype(np.int64), empty
+        rows = np.concatenate([
+            np.full(len(neigh), u, dtype=np.int64)
+            for u, neigh in enumerate(self._record_neighbors) if len(neigh)
+        ]) if any(len(n) for n in self._record_neighbors) else np.empty(0, dtype=np.int64)
+        cols = np.concatenate([n for n in self._record_neighbors if len(n)])
+        weights = np.concatenate([w for w in self._record_weights if len(w)])
+        return rows, cols, weights
+
+    def validate(self) -> None:
+        """Check structural invariants; raises AssertionError on violation."""
+        forward = sum(len(n) for n in self._record_neighbors)
+        backward = sum(len(n) for n in self._mac_neighbors)
+        assert forward == backward == self._num_edges, "edge bookkeeping out of sync"
+        for u, (neighbors, weights) in enumerate(zip(self._record_neighbors, self._record_weights)):
+            assert len(neighbors) == len(weights), f"record {u} has mismatched arrays"
+            assert (weights > 0).all(), f"record {u} has non-positive edge weight"
+            assert (neighbors < self.num_macs).all(), f"record {u} references unknown MAC"

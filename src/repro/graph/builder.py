@@ -1,0 +1,21 @@
+"""Build the weighted bipartite graph from a batch of signal records."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.records import SignalRecord
+from repro.graph.bipartite import WeightedBipartiteGraph
+
+__all__ = ["build_graph"]
+
+
+def build_graph(records: Iterable[SignalRecord], weight_offset: float = 120.0) -> WeightedBipartiteGraph:
+    """Construct the Sec. III-A graph over ``records``.
+
+    ``weight_offset`` is the constant ``c`` of Eq. 2; the paper uses
+    120 dBm, safely above any sensed |RSS|.
+    """
+    graph = WeightedBipartiteGraph(weight_offset=weight_offset)
+    graph.add_records(records)
+    return graph

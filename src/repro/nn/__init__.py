@@ -1,0 +1,33 @@
+"""From-scratch autograd and neural-network substrate.
+
+Implements the reverse-mode autodiff engine, layers and optimisers that
+BiSAGE, GraphSAGE and the convolutional autoencoder baseline train on.
+"""
+
+from repro.nn import init, ops
+from repro.nn.layers import Conv1d, Linear, Module, Parameter, ReLU, Sequential, Sigmoid, Tanh
+from repro.nn.optim import Adam, Optimizer, SGD
+from repro.nn.sparse import row_normalized_csr, spmm
+from repro.nn.tensor import Tensor, as_tensor, is_grad_enabled, no_grad
+
+__all__ = [
+    "Adam",
+    "Conv1d",
+    "Linear",
+    "Module",
+    "Optimizer",
+    "Parameter",
+    "ReLU",
+    "SGD",
+    "Sequential",
+    "Sigmoid",
+    "Tanh",
+    "Tensor",
+    "as_tensor",
+    "init",
+    "is_grad_enabled",
+    "no_grad",
+    "ops",
+    "row_normalized_csr",
+    "spmm",
+]

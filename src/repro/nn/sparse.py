@@ -1,0 +1,53 @@
+"""Sparse aggregation support: CSR matrix times dense Tensor.
+
+BiSAGE's neighbourhood aggregation (Eq. 8) over a whole layer is a
+row-stochastic sparse matrix applied to the previous layer's embedding
+matrix.  The sparse operand encodes sampled, weight-normalised
+neighbourhoods and is *not* differentiated; gradients flow only to the
+dense embeddings (``dX = A^T @ dY``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse as sp
+
+from repro.nn.tensor import Tensor, as_tensor
+
+__all__ = ["spmm", "row_normalized_csr"]
+
+
+def spmm(matrix: sp.spmatrix, x: Tensor) -> Tensor:
+    """Multiply a constant sparse ``matrix`` (n, m) by dense ``x`` (m, d)."""
+    if not sp.issparse(matrix):
+        raise TypeError("spmm expects a scipy sparse matrix as first operand")
+    x = as_tensor(x)
+    csr = matrix.tocsr()
+    out_data = csr @ x.data
+
+    def backward(grad):
+        if x.requires_grad:
+            x._accumulate(csr.T @ grad)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def row_normalized_csr(rows, cols, weights, shape) -> sp.csr_matrix:
+    """Build a CSR matrix whose non-empty rows sum to one.
+
+    Encodes the weighted-mean aggregator of Eq. 8: entry (i, j) is the
+    normalised edge weight with which neighbour ``j`` contributes to the
+    aggregate at node ``i``.  Rows with no entries stay all-zero (their
+    aggregate is the zero vector).
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    weights = np.asarray(weights, dtype=np.float64)
+    if not (rows.shape == cols.shape == weights.shape):
+        raise ValueError("rows, cols and weights must have matching shapes")
+    if weights.size and weights.min() < 0:
+        raise ValueError("aggregation weights must be non-negative")
+    matrix = sp.csr_matrix((weights, (rows, cols)), shape=shape)
+    row_sums = np.asarray(matrix.sum(axis=1)).ravel()
+    scale = np.divide(1.0, row_sums, out=np.zeros_like(row_sums), where=row_sums > 0)
+    return sp.diags(scale) @ matrix

@@ -1,0 +1,51 @@
+"""Scanning-device model: sensitivity floor and soft detection edge.
+
+Real phones do not detect an AP deterministically at the sensitivity
+limit: weak beacons are missed probabilistically.  The soft edge is what
+makes consecutive scans at the *same* spot return different MAC sets —
+the variable-record-length phenomenon GEM's graph model is built for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive
+
+__all__ = ["Device"]
+
+
+@dataclass(frozen=True)
+class Device:
+    """An IoT scanner (phone / watch).
+
+    ``sensitivity_dbm`` is the level below which nothing is heard;
+    between ``sensitivity_dbm`` and ``sensitivity_dbm + soft_range_db``
+    the detection probability ramps linearly from 0 to 1.  ``bands``
+    restricts which radios the device can hear (Fig. 15(d)).
+    """
+
+    sensitivity_dbm: float = -95.0
+    soft_range_db: float = 10.0
+    bands: tuple[str, ...] = ("2.4", "5")
+    measurement_noise_db: float = 1.0
+
+    def __post_init__(self):
+        check_positive(self.soft_range_db, "soft_range_db")
+        if self.measurement_noise_db < 0:
+            raise ValueError("measurement_noise_db must be non-negative")
+        for band in self.bands:
+            if band not in ("2.4", "5"):
+                raise ValueError(f"unknown band {band!r}")
+
+    def detection_probability(self, rss: float) -> float:
+        """Probability that a beacon at ``rss`` is detected in one scan."""
+        if rss <= self.sensitivity_dbm:
+            return 0.0
+        edge = self.sensitivity_dbm + self.soft_range_db
+        if rss >= edge:
+            return 1.0
+        return (rss - self.sensitivity_dbm) / self.soft_range_db
+
+    def hears_band(self, band: str) -> bool:
+        return band in self.bands

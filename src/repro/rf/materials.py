@@ -1,0 +1,53 @@
+"""Wall and floor materials with per-band RF attenuation.
+
+Attenuations follow the figures the paper itself quotes in Sec. VI
+("3 dB for drywalls … up to 10 dB for brick walls") and standard indoor
+propagation surveys; 5 GHz penetrates construction materials worse than
+2.4 GHz, which is what makes the Fig. 15(d) band experiment come out the
+way it does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Material",
+    "DRYWALL",
+    "BRICK",
+    "CONCRETE",
+    "GLASS",
+    "WOOD",
+    "FLOOR_SLAB",
+    "EXTERIOR_BRICK",
+]
+
+
+@dataclass(frozen=True)
+class Material:
+    """An RF-attenuating construction material."""
+
+    name: str
+    attenuation_db_24: float  # dB lost per crossing at 2.4 GHz
+    attenuation_db_5: float   # dB lost per crossing at 5 GHz
+
+    def __post_init__(self):
+        if self.attenuation_db_24 < 0 or self.attenuation_db_5 < 0:
+            raise ValueError(f"attenuation must be non-negative for {self.name}")
+
+    def attenuation(self, band: str) -> float:
+        """Attenuation for band '2.4' or '5' (GHz)."""
+        if band == "2.4":
+            return self.attenuation_db_24
+        if band == "5":
+            return self.attenuation_db_5
+        raise ValueError(f"unknown band {band!r}; expected '2.4' or '5'")
+
+
+DRYWALL = Material("drywall", 3.0, 4.5)
+WOOD = Material("wood", 4.0, 6.0)
+GLASS = Material("glass", 2.0, 3.0)
+BRICK = Material("brick", 10.0, 14.0)
+EXTERIOR_BRICK = Material("exterior-brick", 12.0, 17.0)
+CONCRETE = Material("concrete", 13.0, 18.0)
+FLOOR_SLAB = Material("floor-slab", 18.0, 26.0)

@@ -1,0 +1,221 @@
+"""Indoor RF propagation: path loss, walls, floors, shadowing, fading.
+
+The received signal strength from a radio at distance ``d`` is
+
+    RSS = P_tx − PL(d0) − 10·n·log10(d / d0)          (log-distance)
+          − Σ walls crossed (per-material, per-band)   (obstruction)
+          − |Δfloor| · slab attenuation                 (floors)
+          + X_shadow(position cell, AP)                (spatial, static)
+          + X_fading(t)                                (temporal)
+          + crowd_penalty(busyness)                    (Fig. 15(b) factor)
+
+Spatial shadowing is a *frozen* random field: a deterministic Gaussian
+value per (radio, floor, grid cell) hashed from the environment seed.
+Revisiting a spot reproduces the same shadowing — this is what makes RF
+fingerprints learnable at all — while temporal fading varies per scan.
+Higher bands start from a larger free-space reference loss and attenuate
+harder through materials, reproducing the Fig. 15(d) band ordering.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.rf.geometry import Point, Segment, distance, segments_intersect
+from repro.rf.materials import FLOOR_SLAB, Material
+
+__all__ = ["BandParams", "PropagationConfig", "PropagationModel", "Wall"]
+
+
+@dataclass(frozen=True)
+class Wall:
+    """A wall segment on a floor, made of some material."""
+
+    segment: Segment
+    material: Material
+    floor: int = 0
+
+
+@dataclass(frozen=True)
+class BandParams:
+    """Per-band large-scale propagation parameters."""
+
+    reference_loss_db: float   # free-space loss at d0 = 1 m
+    path_loss_exponent: float
+
+    def path_loss(self, d: float) -> float:
+        d = max(d, 0.5)  # near-field clamp
+        return self.reference_loss_db + 10.0 * self.path_loss_exponent * math.log10(d)
+
+
+# Free-space reference loss at 1 m: 40.05 dB @ 2.4 GHz, 46.4 dB @ 5 GHz.
+_DEFAULT_BANDS = {
+    "2.4": BandParams(reference_loss_db=40.05, path_loss_exponent=2.7),
+    "5": BandParams(reference_loss_db=46.4, path_loss_exponent=2.9),
+}
+
+
+@dataclass(frozen=True)
+class PropagationConfig:
+    """Environment-level propagation knobs."""
+
+    bands: dict = field(default_factory=lambda: dict(_DEFAULT_BANDS))
+    shadowing_sigma_db: float = 3.0
+    shadowing_cell_m: float = 8.0
+    fading_sigma_db: float = 1.5
+    drift_sigma_db: float = 3.0
+    drift_block_s: float = 600.0
+    deep_fade_probability: float = 0.08
+    deep_fade_scale_db: float = 6.0
+    floor_material: Material = FLOOR_SLAB
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.shadowing_sigma_db < 0 or self.fading_sigma_db < 0 or self.drift_sigma_db < 0:
+            raise ValueError("noise sigmas must be non-negative")
+        if self.shadowing_cell_m <= 0 or self.drift_block_s <= 0:
+            raise ValueError("shadowing_cell_m and drift_block_s must be positive")
+        if not 0.0 <= self.deep_fade_probability <= 1.0:
+            raise ValueError("deep_fade_probability must be in [0, 1]")
+        if self.deep_fade_scale_db < 0:
+            raise ValueError("deep_fade_scale_db must be non-negative")
+        for band, params in self.bands.items():
+            if band not in ("2.4", "5"):
+                raise ValueError(f"unknown band {band!r}")
+            if params.path_loss_exponent <= 0:
+                raise ValueError("path_loss_exponent must be positive")
+
+
+class PropagationModel:
+    """Computes RSS between radios and device positions."""
+
+    def __init__(self, walls: list[Wall], config: PropagationConfig = PropagationConfig()):
+        self.walls = list(walls)
+        self.config = config
+        self._shadow_cache: dict[tuple, float] = {}
+
+    # ------------------------------------------------------------------
+    # Deterministic spatial shadowing field
+    # ------------------------------------------------------------------
+    def _grid_noise(self, mac: str, floor: int, node: tuple[int, int]) -> float:
+        """Frozen Gaussian value at one shadowing grid node."""
+        key = (mac, floor, node)
+        cached = self._shadow_cache.get(key)
+        if cached is None:
+            # zlib.crc32 is stable across processes (builtin hash() is
+            # randomised per interpreter run and would break determinism).
+            entropy = (self.config.seed, zlib.crc32(mac.encode()) & 0x7FFFFFFF, floor,
+                       node[0] & 0xFFFF, node[1] & 0xFFFF)
+            rng = np.random.default_rng(np.random.SeedSequence(entropy=entropy))
+            cached = float(rng.normal(0.0, self.config.shadowing_sigma_db))
+            self._shadow_cache[key] = cached
+        return cached
+
+    def _shadowing(self, mac: str, floor: int, position: Point) -> float:
+        """Spatially *correlated* frozen shadowing field.
+
+        Bilinear interpolation of per-grid-node Gaussian values: nearby
+        positions see nearly the same shadowing (correlation length ≈
+        ``shadowing_cell_m``), which is what makes RF fingerprints of an
+        area learnable from a perimeter walk.
+        """
+        gx = position[0] / self.config.shadowing_cell_m
+        gy = position[1] / self.config.shadowing_cell_m
+        i, j = int(math.floor(gx)), int(math.floor(gy))
+        fx, fy = gx - i, gy - j
+        value = ((1 - fx) * (1 - fy) * self._grid_noise(mac, floor, (i, j))
+                 + fx * (1 - fy) * self._grid_noise(mac, floor, (i + 1, j))
+                 + (1 - fx) * fy * self._grid_noise(mac, floor, (i, j + 1))
+                 + fx * fy * self._grid_noise(mac, floor, (i + 1, j + 1)))
+        return value
+
+    # ------------------------------------------------------------------
+    # Obstruction
+    # ------------------------------------------------------------------
+    def wall_loss(self, a: Point, b: Point, floor: int, band: str) -> float:
+        """Total attenuation of walls on ``floor`` crossing segment a→b."""
+        ray = Segment(tuple(a), tuple(b))
+        total = 0.0
+        for wall in self.walls:
+            if wall.floor != floor:
+                continue
+            if segments_intersect(ray, wall.segment):
+                total += wall.material.attenuation(band)
+        return total
+
+    def floor_loss(self, floor_a: int, floor_b: int, band: str) -> float:
+        return abs(floor_a - floor_b) * self.config.floor_material.attenuation(band)
+
+    # ------------------------------------------------------------------
+    # RSS
+    # ------------------------------------------------------------------
+    def mean_rss(self, tx_power_dbm: float, mac: str, band: str,
+                 ap_position: Point, ap_floor: int,
+                 position: Point, floor: int) -> float:
+        """Expected RSS (no temporal fading): path loss + obstructions + shadowing."""
+        params = self.config.bands.get(band)
+        if params is None:
+            raise ValueError(f"band {band!r} not configured")
+        d = distance(ap_position, position)
+        rss = tx_power_dbm - params.path_loss(d)
+        if ap_floor == floor:
+            rss -= self.wall_loss(ap_position, position, floor, band)
+        else:
+            # Cross-floor: the slab(s) dominate; same-floor walls of either
+            # endpoint's floor still obstruct the lateral component.
+            rss -= self.floor_loss(ap_floor, floor, band)
+            rss -= 0.5 * (self.wall_loss(ap_position, position, ap_floor, band)
+                          + self.wall_loss(ap_position, position, floor, band))
+        rss += self._shadowing(mac, floor, position)
+        return rss
+
+    def _drift_block_value(self, mac: str, block: int) -> float:
+        """Frozen Gaussian drift anchor for one (radio, time block)."""
+        key = (mac, "drift", block)
+        cached = self._shadow_cache.get(key)
+        if cached is None:
+            entropy = (self.config.seed, zlib.crc32(mac.encode()) & 0x7FFFFFFF,
+                       0xD41F, block & 0xFFFFF)
+            rng = np.random.default_rng(np.random.SeedSequence(entropy=entropy))
+            cached = float(rng.normal(0.0, self.config.drift_sigma_db))
+            self._shadow_cache[key] = cached
+        return cached
+
+    def temporal_drift(self, mac: str, time_s: float) -> float:
+        """Slow per-radio RSS drift over time (people, doors, interference).
+
+        Piecewise-linear interpolation between frozen per-block Gaussian
+        anchors: scans minutes apart see nearly the same environment,
+        scans an hour apart see a drifted one.  This is the paper's
+        "dynamic RF environment" — the phenomenon its online self-update
+        is designed to track.
+        """
+        if self.config.drift_sigma_db == 0:
+            return 0.0
+        x = time_s / self.config.drift_block_s
+        block = int(math.floor(x))
+        frac = x - block
+        return ((1 - frac) * self._drift_block_value(mac, block)
+                + frac * self._drift_block_value(mac, block + 1))
+
+    def sample_rss(self, tx_power_dbm: float, mac: str, band: str,
+                   ap_position: Point, ap_floor: int,
+                   position: Point, floor: int,
+                   rng, crowd_penalty_db: float = 0.0,
+                   time_s: float = 0.0) -> float:
+        """One noisy scan reading: mean RSS + drift + fading − crowd loss."""
+        rss = self.mean_rss(tx_power_dbm, mac, band, ap_position, ap_floor, position, floor)
+        rss += self.temporal_drift(mac, time_s)
+        if self.config.fading_sigma_db > 0:
+            rss += float(rng.normal(0.0, self.config.fading_sigma_db))
+        # Small-scale multipath: occasional deep fades, exponentially
+        # distributed in dB (the heavy tail Gaussian fading lacks).  Deep
+        # fades can push a weak beacon below sensitivity, which is one of
+        # the mechanisms behind variable-length records.
+        if self.config.deep_fade_probability > 0 and rng.random() < self.config.deep_fade_probability:
+            rss -= float(rng.exponential(self.config.deep_fade_scale_db))
+        return rss - max(crowd_penalty_db, 0.0)

@@ -1,0 +1,70 @@
+"""Scanner: turns device poses into SignalRecords through the RF model.
+
+One ``scan`` is one sensing event (~1 Hz in the paper): every radio in
+the environment is sampled through the propagation model, the device's
+sensitivity/soft-detection model decides which beacons survive, and the
+result is a variable-length MAC→RSS record.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.records import SignalRecord
+from repro.rf.device import Device
+from repro.rf.environment import Environment
+from repro.rf.trajectory import TimedPosition
+from repro.utils.rng import as_rng
+
+__all__ = ["Scanner"]
+
+
+class Scanner:
+    """Simulated RF scanner bound to an environment and a device.
+
+    ``crowd_penalty_db``/``extra_fading_db`` model busy hours (more
+    bodies and interference: lower means, higher variance — Table III /
+    Fig. 15(b)).
+    """
+
+    def __init__(self, environment: Environment, device: Device = Device(),
+                 rng=None, crowd_penalty_db: float = 0.0,
+                 extra_fading_db: float = 0.0, device_offset_db: float = 0.0):
+        if crowd_penalty_db < 0 or extra_fading_db < 0:
+            raise ValueError("crowd_penalty_db and extra_fading_db must be non-negative")
+        self.environment = environment
+        self.device = device
+        self.rng = as_rng(rng)
+        self.crowd_penalty_db = crowd_penalty_db
+        self.extra_fading_db = extra_fading_db
+        # Constant per-device RSS calibration offset: different phone
+        # models report systematically different RSS for the same field
+        # strength (crowdsourced corpora like UJIIndoorLoc mix many).
+        self.device_offset_db = device_offset_db
+
+    def scan(self, pose: TimedPosition) -> SignalRecord:
+        """One sensing event at ``pose``."""
+        readings: dict[str, float] = {}
+        propagation = self.environment.propagation
+        for ap in self.environment.aps:
+            for radio in ap.radios:
+                if not self.device.hears_band(radio.band):
+                    continue
+                rss = propagation.sample_rss(
+                    radio.tx_power_dbm, radio.mac, radio.band,
+                    ap.position, ap.floor, pose.position, pose.floor,
+                    self.rng, crowd_penalty_db=self.crowd_penalty_db,
+                    time_s=pose.time,
+                )
+                rss += self.device_offset_db
+                if self.extra_fading_db > 0:
+                    rss += float(self.rng.normal(0.0, self.extra_fading_db))
+                if self.device.measurement_noise_db > 0:
+                    rss += float(self.rng.normal(0.0, self.device.measurement_noise_db))
+                if self.rng.random() < self.device.detection_probability(rss):
+                    readings[radio.mac] = round(rss, 1)
+        return SignalRecord(readings, timestamp=pose.time, position=(*pose.position, pose.floor))
+
+    def scan_path(self, poses: Sequence[TimedPosition] | Iterable[TimedPosition]) -> list[SignalRecord]:
+        """Scan every pose of a trajectory."""
+        return [self.scan(pose) for pose in poses]

@@ -1,0 +1,258 @@
+"""Deployment-site builders: homes, the lab+corridor floor, multi-floor buildings.
+
+These reproduce the paper's experiment sites as simulated worlds:
+
+* homes from a single-room dorm (~10 m²) to a detached two-storey house
+  (~200 m²), embedded among neighbouring flats/corridors whose ambient
+  APs are what the device actually senses (Sec. V, Table II);
+* the lab with a two-metre corridor right outside its wall — the hard
+  boundary case of Fig. 15(a);
+* generic multi-storey buildings with per-floor AP populations and
+  floor-slab attenuation for the mall and UJI experiments (Sec. V-E).
+
+Every builder is deterministic in its ``seed``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.rf.ap import AccessPoint
+from repro.rf.environment import Environment
+from repro.rf.geometry import Polygon, Rect, Segment
+from repro.rf.materials import BRICK, CONCRETE, DRYWALL, EXTERIOR_BRICK, GLASS
+from repro.rf.propagation import PropagationConfig, Wall
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_positive
+
+__all__ = ["SiteScenario", "home_scenario", "lab_scenario", "multi_floor_building"]
+
+
+@dataclass
+class SiteScenario:
+    """A built world: environment plus labelled movement regions.
+
+    ``inside_regions``/``outside_regions`` are (polygon, floor) pairs the
+    dataset generators draw trajectories from; ``perimeter_region`` is
+    where the initial training walk happens (the geofenced area itself).
+    """
+
+    name: str
+    environment: Environment
+    inside_regions: list[tuple[Polygon, int]]
+    outside_regions: list[tuple[Polygon, int]]
+    perimeter_region: tuple[Polygon, int]
+    area_m2: float
+    extras: dict = field(default_factory=dict)
+
+
+def _rect_walls(rect: Rect, material, floor: int = 0) -> list[Wall]:
+    return [Wall(edge, material, floor) for edge in rect.edges()]
+
+
+def _make_aps(rng, positions_floors, start_id: int, single_band_fraction: float,
+              tx_power_dbm: float = 16.0) -> list[AccessPoint]:
+    """Create APs at given (position, floor)s; a fraction are 2.4-only."""
+    aps = []
+    for offset, (position, floor) in enumerate(positions_floors):
+        if rng.random() < single_band_fraction:
+            bands: tuple[str, ...] = ("2.4",)
+        else:
+            bands = ("2.4", "5")
+        jitter = rng.normal(0.0, 1.5)
+        aps.append(AccessPoint.create(start_id + offset, position, floor=floor,
+                                      bands=bands,
+                                      tx_power_dbm=tx_power_dbm + float(np.clip(jitter, -4, 4))))
+    return aps
+
+
+def home_scenario(area_m2: float = 50.0, aps_inside: int = 1, aps_near: int = 8,
+                  aps_far: int = 5, detached: bool = False, seed: int = 0,
+                  single_band_fraction: float = 0.35,
+                  name: str | None = None) -> SiteScenario:
+    """A home embedded in its RF neighbourhood.
+
+    Attached homes (dorm/apartment) sit between neighbouring flats and a
+    corridor behind brick party walls; a detached house has its
+    neighbours 12–25 m away across open air.  ``aps_near`` live in the
+    immediate neighbours, ``aps_far`` in buildings further out (weak,
+    intermittently heard — the MAC-churn source).
+    """
+    check_positive(area_m2, "area_m2")
+    rng = as_rng(seed)
+    floors = (0, 1) if detached else (0,)
+    footprint = area_m2 / len(floors)
+    width = float(np.sqrt(footprint * 1.3))
+    height = footprint / width
+    home = Rect(0.0, 0.0, width, height)
+
+    walls: list[Wall] = []
+    exterior = EXTERIOR_BRICK if detached else BRICK
+    for floor in floors:
+        walls.extend(_rect_walls(home, exterior, floor))
+        if width > 4.0:  # interior partition
+            x_split = width * 0.55
+            walls.append(Wall(Segment((x_split, 0.0), (x_split, height * 0.7)), DRYWALL, floor))
+        if height > 5.0:
+            y_split = height * 0.5
+            walls.append(Wall(Segment((0.0, y_split), (width * 0.6, y_split)), DRYWALL, floor))
+
+    inside_positions = [(home.shrunk(min(1.0, min(width, height) / 4)).sample_point(rng), floors[0])
+                        for _ in range(aps_inside)]
+    if detached and len(floors) > 1 and aps_inside > 1:
+        inside_positions[-1] = (inside_positions[-1][0], floors[1])
+
+    near_positions = []
+    outside_regions: list[tuple[Polygon, int]] = []
+    if detached:
+        # Neighbouring houses 12–25 m out, garden ring immediately outside.
+        for _ in range(aps_near):
+            angle = rng.uniform(0, 2 * np.pi)
+            radius = rng.uniform(12.0, 25.0)
+            near_positions.append(((width / 2 + radius * np.cos(angle),
+                                    height / 2 + radius * np.sin(angle)), 0))
+        garden = Rect(-6.0, -6.0, width + 6.0, height + 6.0)
+        outside_regions.append((garden, 0))
+        street = Rect(-20.0, -14.0, width + 20.0, -8.0)
+        outside_regions.append((street, 0))
+        # Genuinely away: far enough that the home network is out of reach.
+        away = Rect(-30.0, -60.0, width + 30.0, -40.0)
+        outside_regions.append((away, 0))
+    else:
+        corridor = Rect(-0.5, -2.4, width + 0.5, -0.4)
+        walls.append(Wall(Segment((-0.5, -0.4), (width + 0.5, -0.4)), BRICK, 0))
+        walls.append(Wall(Segment((-0.5, -2.4), (width + 0.5, -2.4)), BRICK, 0))
+        east_flat = Rect(width + 0.3, 0.0, 2 * width + 0.3, height)
+        west_flat = Rect(-width - 0.3, 0.0, -0.3, height)
+        north_flat = Rect(0.0, height + 0.3, width, 2 * height + 0.3)
+        south_flats = Rect(-0.5, -2.4 - height, width + 0.5, -2.6)
+        for flat in (east_flat, west_flat, north_flat):
+            walls.extend(_rect_walls(flat, BRICK, 0))
+        neighbour_homes = [east_flat, west_flat, north_flat, south_flats]
+        for i in range(aps_near):
+            flat = neighbour_homes[i % len(neighbour_homes)]
+            near_positions.append((flat.sample_point(rng), 0))
+        outside_regions.append((corridor, 0))
+        outside_regions.append((east_flat.shrunk(0.8), 0))
+        outside_regions.append((south_flats.shrunk(0.8), 0))
+        # Genuinely away: the street outside the building, beyond WiFi reach.
+        away = Rect(-25.0, -55.0, width + 25.0, -35.0)
+        outside_regions.append((away, 0))
+
+    # Far APs sit at the edge of audibility: heard sporadically, mostly
+    # missing from any given record.  They are what grows the MAC universe
+    # and produces the variable-length-record churn the paper highlights.
+    far_positions = []
+    for _ in range(aps_far):
+        angle = rng.uniform(0, 2 * np.pi)
+        radius = rng.uniform(35.0, 70.0)
+        far_positions.append(((width / 2 + radius * np.cos(angle),
+                               height / 2 + radius * np.sin(angle)),
+                              int(rng.integers(0, 2))))
+
+    aps = (_make_aps(rng, inside_positions, 1, single_band_fraction=0.1, tx_power_dbm=17.0)
+           + _make_aps(rng, near_positions, 100, single_band_fraction, tx_power_dbm=16.0)
+           + _make_aps(rng, far_positions, 500, single_band_fraction, tx_power_dbm=15.0))
+
+    environment = Environment(
+        walls=walls, aps=aps, geofence=home, geofence_floors=floors,
+        propagation_config=PropagationConfig(seed=seed),
+    )
+    inside_regions = [(home, floor) for floor in floors]
+    label = name or ("two-storey-house" if detached else f"home-{int(area_m2)}m2")
+    return SiteScenario(name=label, environment=environment,
+                        inside_regions=inside_regions,
+                        outside_regions=outside_regions,
+                        perimeter_region=(home, floors[0]),
+                        area_m2=area_m2)
+
+
+def lab_scenario(seed: int = 0, transient_aps: int = 0,
+                 lab_aps: int = 2, corridor_aps: int = 3, building_aps: int = 8,
+                 name: str = "lab") -> SiteScenario:
+    """The Fig. 15(a) floor: a lab with a 2 m corridor right outside.
+
+    ``transient_aps`` adds low-power hotspots (phones of people around at
+    busy hours) in the corridor and nearby rooms — the mechanism behind
+    the Table III MAC-count swings across the day.
+    """
+    rng = as_rng(seed)
+    lab = Rect(0.0, 0.0, 15.0, 8.0)
+    corridor = Rect(-4.0, -2.0, 19.0, 0.0)
+    rooms_south = Rect(-4.0, -10.0, 19.0, -2.2)
+    walls = _rect_walls(lab, BRICK)
+    # Lab front onto the corridor is drywall + glass (typical office front).
+    walls.append(Wall(Segment((0.0, 0.0), (15.0, 0.0)), GLASS, 0))
+    walls.append(Wall(Segment((-4.0, -2.0), (19.0, -2.0)), DRYWALL, 0))
+    walls.extend(_rect_walls(rooms_south, DRYWALL, 0))
+    # Interior benches/partitions in the lab.
+    walls.append(Wall(Segment((5.0, 1.0), (5.0, 7.0)), DRYWALL, 0))
+    walls.append(Wall(Segment((10.0, 1.0), (10.0, 7.0)), DRYWALL, 0))
+
+    positions = [(lab.shrunk(1.0).sample_point(rng), 0) for _ in range(lab_aps)]
+    positions += [(corridor.shrunk(0.5).sample_point(rng), 0) for _ in range(corridor_aps)]
+    positions += [(rooms_south.shrunk(1.0).sample_point(rng), 0) for _ in range(building_aps)]
+    aps = _make_aps(rng, positions, 1, single_band_fraction=0.25, tx_power_dbm=17.0)
+    if transient_aps:
+        hotspot_positions = [((corridor if i % 2 else rooms_south).shrunk(0.5).sample_point(rng), 0)
+                             for i in range(transient_aps)]
+        aps += _make_aps(rng, hotspot_positions, 900, single_band_fraction=0.5,
+                         tx_power_dbm=10.0)
+
+    environment = Environment(walls=walls, aps=aps, geofence=lab,
+                              geofence_floors=(0,),
+                              propagation_config=PropagationConfig(seed=seed))
+    return SiteScenario(name=name, environment=environment,
+                        inside_regions=[(lab, 0)],
+                        outside_regions=[(corridor, 0), (rooms_south.shrunk(0.8), 0)],
+                        perimeter_region=(lab, 0),
+                        area_m2=lab.area)
+
+
+def multi_floor_building(num_floors: int = 5, width: float = 60.0, depth: float = 40.0,
+                         aps_per_floor: int = 10, geofence_floor: int = 2,
+                         seed: int = 0, name: str = "building",
+                         interior_walls_per_floor: int = 4,
+                         floor_material=None) -> SiteScenario:
+    """A multi-storey building geofencing one whole floor (mall/UJI setup).
+
+    APs leak across floors through slab attenuation, which is exactly
+    the confusion structure the scalability experiments probe.
+    ``floor_material`` sets the effective per-floor attenuation: buildings
+    with open atria and stairwells (malls, campus buildings) leak far
+    more than a solid slab would suggest, which is why per-AP-pair and
+    MAC-overlap methods confuse adjacent floors there (Sec. V-E).
+    """
+    if not 0 <= geofence_floor < num_floors:
+        raise ValueError(f"geofence_floor {geofence_floor} outside 0..{num_floors - 1}")
+    rng = as_rng(seed)
+    from repro.rf.materials import FLOOR_SLAB  # local import avoids cycle noise
+    effective_floor = floor_material or FLOOR_SLAB
+    footprint = Rect(0.0, 0.0, width, depth)
+    walls: list[Wall] = []
+    positions = []
+    for floor in range(num_floors):
+        walls.extend(_rect_walls(footprint, CONCRETE, floor))
+        for _ in range(interior_walls_per_floor):
+            x = rng.uniform(width * 0.15, width * 0.85)
+            y0 = rng.uniform(0, depth * 0.4)
+            walls.append(Wall(Segment((x, y0), (x, y0 + depth * 0.4)), DRYWALL, floor))
+        for _ in range(aps_per_floor):
+            positions.append((footprint.shrunk(2.0).sample_point(rng), floor))
+    aps = _make_aps(rng, positions, 1, single_band_fraction=0.3, tx_power_dbm=18.0)
+
+    environment = Environment(walls=walls, aps=aps, geofence=footprint,
+                              geofence_floors=(geofence_floor,),
+                              propagation_config=PropagationConfig(seed=seed,
+                                                                   floor_material=effective_floor))
+    inside_regions = [(footprint, geofence_floor)]
+    outside_regions = [(footprint, floor) for floor in range(num_floors)
+                       if floor != geofence_floor]
+    return SiteScenario(name=name, environment=environment,
+                        inside_regions=inside_regions,
+                        outside_regions=outside_regions,
+                        perimeter_region=(footprint, geofence_floor),
+                        area_m2=footprint.area * num_floors,
+                        extras={"num_floors": num_floors, "geofence_floor": geofence_floor})

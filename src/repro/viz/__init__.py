@@ -1,0 +1,5 @@
+"""Visualisation helpers (t-SNE for the Fig. 6 embedding plot)."""
+
+from repro.viz.tsne import tsne
+
+__all__ = ["tsne"]

@@ -1,0 +1,99 @@
+"""A minimal t-SNE implementation (van der Maaten & Hinton, 2008).
+
+Used to reproduce the paper's Fig. 6 sanity check: record-node and
+MAC-node embeddings should form separate clusters in 2-D.  Implements
+the standard algorithm — perplexity-calibrated Gaussian affinities in
+the input space, Student-t affinities in the map, KL-divergence gradient
+descent with early exaggeration and momentum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_positive, check_positive_int
+
+__all__ = ["tsne"]
+
+
+def _pairwise_sq_distances(x: np.ndarray) -> np.ndarray:
+    sums = (x * x).sum(axis=1)
+    d2 = sums[:, None] + sums[None, :] - 2.0 * x @ x.T
+    np.fill_diagonal(d2, 0.0)
+    return np.maximum(d2, 0.0)
+
+
+def _binary_search_sigmas(d2: np.ndarray, perplexity: float,
+                          tolerance: float = 1e-4, max_iter: int = 50) -> np.ndarray:
+    """Per-point conditional affinities P(j|i) at the target perplexity."""
+    n = len(d2)
+    target_entropy = np.log(perplexity)
+    p = np.zeros((n, n))
+    for i in range(n):
+        beta_low, beta_high = 0.0, np.inf
+        beta = 1.0
+        row = d2[i].copy()
+        row[i] = np.inf
+        for _ in range(max_iter):
+            exponent = -row * beta
+            exponent -= exponent.max()
+            weights = np.exp(exponent)
+            weights[i] = 0.0
+            total = weights.sum()
+            if total <= 0:
+                prob = np.zeros(n)
+                entropy = 0.0
+            else:
+                prob = weights / total
+                nonzero = prob > 0
+                entropy = -np.sum(prob[nonzero] * np.log(prob[nonzero]))
+            diff = entropy - target_entropy
+            if abs(diff) < tolerance:
+                break
+            if diff > 0:  # entropy too high -> sharpen
+                beta_low = beta
+                beta = beta * 2.0 if beta_high == np.inf else (beta + beta_high) / 2.0
+            else:
+                beta_high = beta
+                beta = beta / 2.0 if beta_low == 0.0 else (beta + beta_low) / 2.0
+        p[i] = prob
+    return p
+
+
+def tsne(x: np.ndarray, dim: int = 2, perplexity: float = 20.0,
+         iterations: int = 400, learning_rate: float = 100.0,
+         early_exaggeration: float = 4.0, exaggeration_iters: int = 80,
+         momentum: float = 0.8, seed=None) -> np.ndarray:
+    """Embed rows of ``x`` into ``dim`` dimensions with t-SNE."""
+    x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+    n = len(x)
+    check_positive_int(dim, "dim")
+    check_positive(perplexity, "perplexity")
+    check_positive_int(iterations, "iterations")
+    if n < 4:
+        raise ValueError("t-SNE needs at least four samples")
+    perplexity = min(perplexity, (n - 1) / 3.0)
+
+    d2 = _pairwise_sq_distances(x)
+    conditional = _binary_search_sigmas(d2, perplexity)
+    p = (conditional + conditional.T) / (2.0 * n)
+    p = np.maximum(p, 1e-12)
+
+    rng = as_rng(seed)
+    y = rng.normal(0.0, 1e-4, size=(n, dim))
+    velocity = np.zeros_like(y)
+
+    for iteration in range(iterations):
+        exaggeration = early_exaggeration if iteration < exaggeration_iters else 1.0
+        dy2 = _pairwise_sq_distances(y)
+        q_num = 1.0 / (1.0 + dy2)
+        np.fill_diagonal(q_num, 0.0)
+        q = np.maximum(q_num / q_num.sum(), 1e-12)
+        # Gradient of KL(P||Q) w.r.t. the map points.
+        pq = (exaggeration * p - q) * q_num
+        grad = 4.0 * ((np.diag(pq.sum(axis=1)) - pq) @ y)
+        velocity = momentum * velocity - learning_rate * grad
+        y = y + velocity
+        y = y - y.mean(axis=0)
+    return y

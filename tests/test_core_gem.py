@@ -1,0 +1,181 @@
+"""GEM pipeline: fit, Algorithm 2 streaming, self-update, edge cases."""
+
+import math
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GEM,
+    EmbeddingGeofencer,
+    GEMConfig,
+    GeofenceDecision,
+    ImputedMatrixEmbedder,
+    SignalRecord,
+)
+from repro.detection import HistogramConfig, HistogramDetector
+from repro.embedding.bisage import BiSAGEConfig
+
+from conftest import synthetic_records
+
+FAST_CONFIG = GEMConfig(bisage=BiSAGEConfig(dim=8, epochs=2, seed=0))
+
+
+@pytest.fixture(scope="module")
+def fitted_gem():
+    gem = GEM(FAST_CONFIG)
+    gem.fit(synthetic_records(50, num_macs=10, seed=0, center=2.0))
+    return gem
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = GEMConfig()
+        assert config.weight_offset == 120.0
+        assert config.self_update
+        assert config.batch_update_size == 1
+
+    def test_with_helpers(self):
+        config = GEMConfig()
+        assert config.with_dim(16).bisage.dim == 16
+        assert config.with_temperature(0.05).histogram.temperature == 0.05
+        assert config.with_bins(7).histogram.num_bins == 7
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            GEMConfig(batch_update_size=0)
+
+
+class TestFit:
+    def test_fit_builds_graph_and_detector(self, fitted_gem):
+        assert fitted_gem.graph.num_records >= 50
+        assert fitted_gem.bisage is not None
+        assert fitted_gem.detector.num_samples == 50
+
+    def test_fit_empty_rejected(self):
+        with pytest.raises(ValueError):
+            GEM(FAST_CONFIG).fit([])
+
+    def test_observe_before_fit(self):
+        gem = GEM(FAST_CONFIG)
+        with pytest.raises(RuntimeError):
+            gem.observe(SignalRecord({"mac00": -50.0}))
+
+
+class TestObserve:
+    def test_inlier_accepted(self, fitted_gem):
+        record = synthetic_records(1, num_macs=10, seed=99, center=2.0)[0]
+        decision = fitted_gem.observe(record)
+        assert isinstance(decision, GeofenceDecision)
+        assert decision.inside
+        assert math.isfinite(decision.score)
+
+    def test_far_outlier_rejected(self, fitted_gem):
+        # A record whose pattern differs strongly from training.
+        record = SignalRecord({f"mac{m:02d}": -90.0 for m in range(3)})
+        decision = fitted_gem.observe(record)
+        assert not decision.inside
+
+    def test_empty_record_is_out(self, fitted_gem):
+        decision = fitted_gem.observe(SignalRecord({}))
+        assert not decision.inside
+        assert decision.score == math.inf
+
+    def test_all_unknown_macs_is_out(self, fitted_gem):
+        decision = fitted_gem.observe(SignalRecord({"totally-new": -40.0}))
+        assert not decision.inside
+        assert decision.score == math.inf
+
+    def test_observe_attaches_to_graph(self):
+        gem = GEM(FAST_CONFIG)
+        gem.fit(synthetic_records(30, seed=1))
+        before = gem.graph.num_records
+        gem.observe(synthetic_records(1, seed=2)[0])
+        assert gem.graph.num_records == before + 1
+
+    def test_predict_does_not_attach(self):
+        gem = GEM(FAST_CONFIG)
+        gem.fit(synthetic_records(30, seed=1))
+        before = gem.graph.num_records
+        gem.predict(synthetic_records(1, seed=2)[0])
+        assert gem.graph.num_records == before
+
+    def test_score_matches_detector_scale(self, fitted_gem):
+        record = synthetic_records(1, num_macs=10, seed=50, center=2.0)[0]
+        score = fitted_gem.score(record)
+        assert 0.0 <= score <= 1.0
+
+    def test_observe_stream(self):
+        gem = GEM(FAST_CONFIG)
+        gem.fit(synthetic_records(30, seed=1))
+        stream = synthetic_records(5, seed=3)
+        decisions = gem.observe_stream(stream)
+        assert len(decisions) == 5
+
+
+class TestSelfUpdate:
+    def test_confident_inliers_update_model(self):
+        gem = GEM(FAST_CONFIG)
+        gem.fit(synthetic_records(50, seed=0, center=2.0))
+        before = gem.detector.num_samples
+        updated = sum(gem.observe(r).updated
+                      for r in synthetic_records(30, seed=7, center=2.0))
+        assert updated > 0
+        assert gem.detector.num_samples > before
+
+    def test_update_disabled(self):
+        config = replace(FAST_CONFIG, self_update=False)
+        gem = GEM(config)
+        gem.fit(synthetic_records(50, seed=0, center=2.0))
+        before = gem.detector.num_samples
+        for record in synthetic_records(20, seed=7, center=2.0):
+            assert not gem.observe(record).updated
+        assert gem.detector.num_samples == before
+
+    def test_batch_update_buffers(self):
+        config = replace(FAST_CONFIG, batch_update_size=10)
+        gem = GEM(config)
+        gem.fit(synthetic_records(50, seed=0, center=2.0))
+        base = gem.detector.num_samples
+        absorbed_early = False
+        for record in synthetic_records(9, seed=7, center=2.0):
+            gem.observe(record)
+        # Fewer than batch_update_size confident samples: nothing flushed
+        # unless the buffer filled exactly.
+        buffered = len(gem._update_buffer)
+        assert gem.detector.num_samples + buffered >= base
+        flushed = gem.flush_updates()
+        assert flushed == buffered
+        assert gem.detector.num_samples == base + flushed
+
+    def test_flush_empty_buffer(self, fitted_gem):
+        fitted_gem.flush_updates()
+        assert fitted_gem.flush_updates() == 0
+
+
+class TestComposedPipelines:
+    def test_matrix_embedder_pipeline(self):
+        pipeline = EmbeddingGeofencer(ImputedMatrixEmbedder(),
+                                      HistogramDetector(HistogramConfig()))
+        pipeline.fit(synthetic_records(40, seed=0, center=2.0))
+        decision = pipeline.observe(synthetic_records(1, seed=9, center=2.0)[0])
+        assert isinstance(decision.inside, bool)
+
+    def test_detector_without_update_support(self):
+        from repro.detection import LocalOutlierFactor
+        from repro.core.embedders import BiSAGEEmbedder
+
+        pipeline = EmbeddingGeofencer(
+            BiSAGEEmbedder(BiSAGEConfig(dim=8, epochs=1, seed=0)),
+            LocalOutlierFactor(n_neighbors=5),
+            self_update=True)
+        pipeline.fit(synthetic_records(30, seed=0))
+        decision = pipeline.observe(synthetic_records(1, seed=4)[0])
+        # LOF has no update(); decision must not claim an update happened.
+        assert not decision.updated
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            EmbeddingGeofencer(ImputedMatrixEmbedder(), HistogramDetector(),
+                               batch_update_size=0)

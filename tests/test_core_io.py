@@ -1,0 +1,100 @@
+"""JSONL persistence round-trips and error reporting."""
+
+import json
+
+import pytest
+
+from repro.core.io import (
+    load_labeled_records,
+    load_records,
+    record_from_dict,
+    record_to_dict,
+    save_labeled_records,
+    save_records,
+)
+from repro.core.records import LabeledRecord, SignalRecord
+
+
+def sample_records():
+    return [
+        SignalRecord({"aa": -50.0, "bb": -61.5}, timestamp=1.0, position=(2.0, 3.0, 0)),
+        SignalRecord({"cc": -70.0}, timestamp=2.0),
+        SignalRecord({}, timestamp=3.0),
+    ]
+
+
+class TestRecordDicts:
+    def test_roundtrip(self):
+        record = sample_records()[0]
+        clone = record_from_dict(record_to_dict(record))
+        assert clone.readings == record.readings
+        assert clone.timestamp == record.timestamp
+        assert clone.position == record.position
+
+    def test_position_optional(self):
+        record = record_from_dict({"t": 1.0, "rss": {"a": -50.0}})
+        assert record.position is None
+
+    def test_missing_rss_rejected(self):
+        with pytest.raises(ValueError, match="rss"):
+            record_from_dict({"t": 1.0})
+
+
+class TestRecordFiles:
+    def test_save_load_roundtrip(self, tmp_path):
+        records = sample_records()
+        path = tmp_path / "stream.jsonl"
+        assert save_records(records, path) == 3
+        loaded = load_records(path)
+        assert [r.readings for r in loaded] == [r.readings for r in records]
+        assert [r.timestamp for r in loaded] == [1.0, 2.0, 3.0]
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        path.write_text('{"t": 1, "rss": {"a": -50}}\n\n\n')
+        assert len(load_records(path)) == 1
+
+    def test_bad_line_reports_location(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        path.write_text('{"t": 1, "rss": {"a": -50}}\nnot json\n')
+        with pytest.raises(ValueError, match=":2:"):
+            load_records(path)
+
+
+class TestLabeledFiles:
+    def test_roundtrip_with_meta(self, tmp_path):
+        items = [
+            LabeledRecord(sample_records()[0], inside=True, meta={"session": 1}),
+            LabeledRecord(sample_records()[1], inside=False),
+        ]
+        path = tmp_path / "test.jsonl"
+        assert save_labeled_records(items, path) == 2
+        loaded = load_labeled_records(path)
+        assert [item.inside for item in loaded] == [True, False]
+        assert loaded[0].meta["session"] == 1
+
+    def test_nonjson_meta_stringified(self, tmp_path):
+        items = [LabeledRecord(sample_records()[0], inside=True,
+                               meta={"obj": object()})]
+        path = tmp_path / "test.jsonl"
+        save_labeled_records(items, path)
+        assert isinstance(load_labeled_records(path)[0].meta["obj"], str)
+
+    def test_missing_label_rejected(self, tmp_path):
+        path = tmp_path / "test.jsonl"
+        path.write_text('{"t": 1, "rss": {"a": -50}}\n')
+        with pytest.raises(ValueError, match=":1:"):
+            load_labeled_records(path)
+
+    def test_end_to_end_with_gem(self, tmp_path):
+        # Saved streams feed the pipeline exactly like fresh ones.
+        from repro.core import GEM, GEMConfig
+        from repro.embedding.bisage import BiSAGEConfig
+        from conftest import synthetic_records
+
+        train = synthetic_records(30, seed=0, center=2.0)
+        path = tmp_path / "train.jsonl"
+        save_records(train, path)
+        gem = GEM(GEMConfig(bisage=BiSAGEConfig(dim=8, epochs=1, seed=0)))
+        gem.fit(load_records(path))
+        assert gem.graph.num_records == 30

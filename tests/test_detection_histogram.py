@@ -1,0 +1,188 @@
+"""Enhanced histogram detector: Eq. 10-12 behaviour, updates, edge cases."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.detection import HistogramConfig, HistogramDetector
+
+
+def gaussian_blob(n=200, d=4, seed=0, center=0.0, scale=1.0):
+    rng = np.random.default_rng(seed)
+    return center + scale * rng.standard_normal((n, d))
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        HistogramConfig()
+
+    def test_tau_ordering_enforced(self):
+        with pytest.raises(ValueError, match="tau_lower"):
+            HistogramConfig(tau_upper=0.1, tau_lower=0.2)
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            HistogramConfig(num_bins=0)
+
+    def test_invalid_temperature(self):
+        with pytest.raises(ValueError):
+            HistogramConfig(temperature=0.0)
+
+    def test_negative_smoothing(self):
+        with pytest.raises(ValueError):
+            HistogramConfig(smoothing_passes=-1)
+
+
+class TestFitAndScore:
+    def test_training_scores_in_unit_interval(self):
+        detector = HistogramDetector().fit(gaussian_blob())
+        scores = detector.normalized_scores(gaussian_blob())
+        assert ((scores >= 0) & (scores <= 1)).all()
+
+    def test_far_outlier_scores_high(self):
+        detector = HistogramDetector().fit(gaussian_blob())
+        outlier = np.full((1, 4), 100.0)
+        assert detector.normalized_scores(outlier)[0] == pytest.approx(1.0)
+        assert detector.is_outlier(outlier)[0]
+
+    def test_center_point_scores_low(self):
+        detector = HistogramDetector().fit(gaussian_blob(n=500))
+        center = np.zeros((1, 4))
+        assert detector.normalized_scores(center)[0] < 0.4
+        assert not detector.is_outlier(center)[0]
+
+    def test_enhanced_scores_are_sigmoid_of_normalized(self):
+        detector = HistogramDetector().fit(gaussian_blob())
+        x = gaussian_blob(n=10, seed=5)
+        normalized = detector.normalized_scores(x)
+        enhanced = detector.enhanced_scores(x)
+        expected = 1.0 / (1.0 + np.exp(-(2 * normalized - 1) / detector.config.temperature))
+        np.testing.assert_allclose(enhanced, expected, atol=1e-12)
+
+    def test_enhanced_monotone_in_normalized(self):
+        detector = HistogramDetector().fit(gaussian_blob())
+        x = gaussian_blob(n=50, seed=7)
+        normalized = detector.normalized_scores(x)
+        enhanced = detector.enhanced_scores(x)
+        order = np.argsort(normalized)
+        assert (np.diff(enhanced[order]) >= -1e-12).all()
+
+    def test_single_sample_training(self):
+        detector = HistogramDetector().fit(np.zeros((1, 3)))
+        assert detector.num_samples == 1
+        # The training point itself is not an outlier.
+        assert not detector.is_outlier(np.zeros((1, 3)))[0]
+
+    def test_constant_dimension_handled(self):
+        data = gaussian_blob()
+        data[:, 0] = 5.0  # degenerate dim
+        detector = HistogramDetector().fit(data)
+        assert np.isfinite(detector.decision_scores(data)).all()
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            HistogramDetector().fit(np.empty((0, 3)))
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ValueError):
+            HistogramDetector().fit(np.array([[np.nan, 1.0]]))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            HistogramDetector().decision_scores(np.zeros((1, 2)))
+
+
+class TestPlainMode:
+    def test_plain_uses_contamination_threshold(self):
+        config = HistogramConfig(enhanced=False, contamination=0.1)
+        detector = HistogramDetector(config).fit(gaussian_blob(n=300))
+        flagged = detector.is_outlier(gaussian_blob(n=300)).mean()
+        assert 0.02 < flagged < 0.35
+
+    def test_plain_never_confident(self):
+        config = HistogramConfig(enhanced=False)
+        detector = HistogramDetector(config).fit(gaussian_blob())
+        assert not detector.is_confident_inlier(np.zeros((5, 4))).any()
+
+    def test_plain_decision_scores_are_normalized(self):
+        config = HistogramConfig(enhanced=False)
+        detector = HistogramDetector(config).fit(gaussian_blob())
+        x = gaussian_blob(n=10, seed=3)
+        np.testing.assert_allclose(detector.decision_scores(x), detector.normalized_scores(x))
+
+
+class TestOnlineUpdate:
+    def test_update_absorbs_samples(self):
+        detector = HistogramDetector().fit(gaussian_blob(n=100))
+        detector.update(gaussian_blob(n=20, seed=1))
+        assert detector.num_samples == 120
+        assert detector.num_updates == 20
+
+    def test_update_single_vector(self):
+        detector = HistogramDetector().fit(gaussian_blob())
+        detector.update(np.zeros(4))
+        assert detector.num_updates == 1
+
+    def test_update_shifts_distribution(self):
+        # Absorbing a second cluster should stop flagging it.
+        detector = HistogramDetector().fit(gaussian_blob(n=300))
+        shifted = gaussian_blob(n=300, seed=2, center=4.0, scale=0.5)
+        before = detector.normalized_scores(shifted).mean()
+        detector.update(shifted)
+        after = detector.normalized_scores(shifted).mean()
+        assert after < before
+
+    def test_update_dimension_mismatch(self):
+        detector = HistogramDetector().fit(gaussian_blob())
+        with pytest.raises(ValueError, match="dimension"):
+            detector.update(np.zeros((1, 5)))
+
+    def test_update_rejects_nonfinite(self):
+        detector = HistogramDetector().fit(gaussian_blob())
+        with pytest.raises(ValueError):
+            detector.update(np.array([[np.inf] * 4]))
+
+    def test_update_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            HistogramDetector().update(np.zeros((1, 2)))
+
+    def test_confident_inlier_implies_inlier(self):
+        detector = HistogramDetector().fit(gaussian_blob(n=500))
+        x = gaussian_blob(n=100, seed=9)
+        confident = detector.is_confident_inlier(x)
+        outlier = detector.is_outlier(x)
+        assert not (confident & outlier).any()
+
+
+class TestSmoothing:
+    def test_smoothing_preserves_total_count(self):
+        config = HistogramConfig(smoothing_passes=2)
+        detector = HistogramDetector(config).fit(gaussian_blob(n=200))
+        # Binomial kernel with edge padding approximately preserves mass.
+        assert detector._counts.sum() == pytest.approx(200 * 4, rel=0.15)
+
+    def test_zero_smoothing_keeps_integer_counts(self):
+        config = HistogramConfig(smoothing_passes=0)
+        detector = HistogramDetector(config).fit(gaussian_blob(n=50))
+        assert np.allclose(detector._counts, np.round(detector._counts))
+
+
+@settings(max_examples=20, deadline=None)
+@given(arrays(np.float64, (30, 3), elements=st.floats(-5, 5, allow_nan=False)))
+def test_property_scores_finite_and_bounded(data):
+    detector = HistogramDetector().fit(data)
+    scores = detector.normalized_scores(data)
+    assert np.isfinite(scores).all()
+    assert ((scores >= 0) & (scores <= 1)).all()
+    enhanced = detector.enhanced_scores(data)
+    assert ((enhanced >= 0) & (enhanced <= 1)).all()
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(2, 40))
+def test_property_update_grows_sample_count(n):
+    detector = HistogramDetector().fit(gaussian_blob(n=50))
+    detector.update(gaussian_blob(n=n, seed=3))
+    assert detector.num_samples == 50 + n

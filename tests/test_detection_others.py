@@ -1,0 +1,170 @@
+"""LOF, isolation forest, feature bagging, thresholds."""
+
+import numpy as np
+import pytest
+
+from repro.detection import (
+    FeatureBagging,
+    IsolationForest,
+    LocalOutlierFactor,
+    MinMaxNormalizer,
+    contamination_threshold,
+)
+
+
+def blob_with_outliers(n=150, d=5, seed=0):
+    rng = np.random.default_rng(seed)
+    inliers = rng.standard_normal((n, d))
+    outliers = rng.standard_normal((10, d)) * 0.3 + 8.0
+    return inliers, outliers
+
+
+class TestMinMaxNormalizer:
+    def test_maps_training_range_to_unit(self):
+        normalizer = MinMaxNormalizer().fit([2.0, 4.0, 6.0])
+        np.testing.assert_allclose(normalizer.transform([2.0, 4.0, 6.0]), [0.0, 0.5, 1.0])
+
+    def test_clips_outside_range(self):
+        normalizer = MinMaxNormalizer().fit([0.0, 1.0])
+        np.testing.assert_allclose(normalizer.transform([-5.0, 5.0]), [0.0, 1.0])
+
+    def test_no_clip_option(self):
+        normalizer = MinMaxNormalizer(clip=False).fit([0.0, 1.0])
+        np.testing.assert_allclose(normalizer.transform([2.0]), [2.0])
+
+    def test_degenerate_range_maps_to_half(self):
+        normalizer = MinMaxNormalizer().fit([3.0, 3.0])
+        np.testing.assert_allclose(normalizer.transform([3.0, 9.0]), [0.5, 0.5])
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            MinMaxNormalizer().transform([1.0])
+
+    def test_empty_fit_raises(self):
+        with pytest.raises(ValueError):
+            MinMaxNormalizer().fit([])
+
+    def test_nonfinite_fit_raises(self):
+        with pytest.raises(ValueError):
+            MinMaxNormalizer().fit([np.inf])
+
+
+class TestContaminationThreshold:
+    def test_zero_contamination_above_max(self):
+        assert contamination_threshold([1.0, 2.0, 3.0], 0.0) > 3.0
+
+    def test_ten_percent(self):
+        scores = np.arange(10, dtype=float)
+        # top-1 score is the threshold
+        assert contamination_threshold(scores, 0.1) == 9.0
+
+    def test_full_contamination_is_min(self):
+        assert contamination_threshold([1.0, 2.0, 3.0], 1.0) == 1.0
+
+    def test_invalid_contamination(self):
+        with pytest.raises(ValueError):
+            contamination_threshold([1.0], 1.5)
+
+    def test_empty_scores(self):
+        with pytest.raises(ValueError):
+            contamination_threshold([], 0.1)
+
+
+class TestLOF:
+    def test_separates_outliers(self):
+        inliers, outliers = blob_with_outliers()
+        lof = LocalOutlierFactor(n_neighbors=10).fit(inliers)
+        assert lof.decision_scores(outliers).min() > lof.decision_scores(inliers[:20]).max()
+
+    def test_is_outlier_flags(self):
+        inliers, outliers = blob_with_outliers()
+        lof = LocalOutlierFactor(n_neighbors=10, contamination=0.05).fit(inliers)
+        assert lof.is_outlier(outliers).all()
+
+    def test_inlier_scores_near_one(self):
+        inliers, _ = blob_with_outliers(n=400)
+        lof = LocalOutlierFactor(n_neighbors=15).fit(inliers)
+        scores = lof.decision_scores(inliers[:50])
+        assert abs(np.median(scores) - 1.0) < 0.2
+
+    def test_k_clamped_to_n_minus_one(self):
+        lof = LocalOutlierFactor(n_neighbors=50).fit(np.random.default_rng(0).standard_normal((5, 2)))
+        assert np.isfinite(lof.decision_scores(np.zeros((1, 2)))).all()
+
+    def test_requires_two_samples(self):
+        with pytest.raises(ValueError):
+            LocalOutlierFactor().fit(np.zeros((1, 2)))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            LocalOutlierFactor().decision_scores(np.zeros((1, 2)))
+
+
+class TestIsolationForest:
+    def test_separates_outliers(self):
+        inliers, outliers = blob_with_outliers()
+        forest = IsolationForest(n_trees=50, seed=0).fit(inliers)
+        assert forest.decision_scores(outliers).mean() > forest.decision_scores(inliers[:30]).mean()
+
+    def test_scores_in_unit_interval(self):
+        inliers, _ = blob_with_outliers()
+        forest = IsolationForest(n_trees=30, seed=0).fit(inliers)
+        scores = forest.decision_scores(inliers)
+        assert ((scores > 0) & (scores < 1)).all()
+
+    def test_is_outlier_far_point(self):
+        inliers, _ = blob_with_outliers()
+        forest = IsolationForest(n_trees=50, seed=0).fit(inliers)
+        assert forest.is_outlier(np.full((1, 5), 50.0))[0]
+
+    def test_subsample_larger_than_data(self):
+        data = np.random.default_rng(0).standard_normal((20, 3))
+        forest = IsolationForest(n_trees=10, subsample_size=256, seed=0).fit(data)
+        assert forest._subsample_used == 20
+
+    def test_deterministic_with_seed(self):
+        data = np.random.default_rng(0).standard_normal((50, 3))
+        s1 = IsolationForest(n_trees=20, seed=5).fit(data).decision_scores(data[:5])
+        s2 = IsolationForest(n_trees=20, seed=5).fit(data).decision_scores(data[:5])
+        np.testing.assert_allclose(s1, s2)
+
+    def test_requires_two_samples(self):
+        with pytest.raises(ValueError):
+            IsolationForest().fit(np.zeros((1, 2)))
+
+    def test_constant_data_scores_finite(self):
+        forest = IsolationForest(n_trees=10, seed=0).fit(np.ones((30, 3)))
+        assert np.isfinite(forest.decision_scores(np.ones((5, 3)))).all()
+
+
+class TestFeatureBagging:
+    def test_separates_outliers(self):
+        inliers, outliers = blob_with_outliers()
+        bagging = FeatureBagging(n_estimators=5, seed=0).fit(inliers)
+        assert bagging.decision_scores(outliers).mean() > bagging.decision_scores(inliers[:30]).mean()
+
+    def test_uses_feature_subsets(self):
+        inliers, _ = blob_with_outliers()
+        bagging = FeatureBagging(n_estimators=6, seed=0).fit(inliers)
+        sizes = {len(features) for features, _ in bagging._members}
+        d = inliers.shape[1]
+        assert all(int(np.ceil(d / 2)) <= s <= d - 1 for s in sizes)
+
+    def test_requires_two_features(self):
+        with pytest.raises(ValueError):
+            FeatureBagging().fit(np.zeros((10, 1)))
+
+    def test_requires_two_samples(self):
+        with pytest.raises(ValueError):
+            FeatureBagging().fit(np.zeros((1, 4)))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            FeatureBagging().decision_scores(np.zeros((1, 4)))
+
+    def test_scores_are_sums_of_members(self):
+        inliers, _ = blob_with_outliers(n=60)
+        bagging = FeatureBagging(n_estimators=3, seed=1).fit(inliers)
+        x = inliers[:4]
+        manual = sum(det.decision_scores(x[:, feats]) for feats, det in bagging._members)
+        np.testing.assert_allclose(bagging.decision_scores(x), manual)

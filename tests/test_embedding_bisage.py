@@ -1,0 +1,153 @@
+"""BiSAGE: training, determinism, inductive inference, cache dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.core.records import SignalRecord
+from repro.embedding import BiSAGE, BiSAGEConfig
+from repro.graph import build_graph
+
+from conftest import synthetic_records
+
+FAST = BiSAGEConfig(dim=8, epochs=2, batch_pairs=128, seed=0)
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    records = synthetic_records(40, num_macs=10, seed=3)
+    graph = build_graph(records)
+    return BiSAGE(FAST).fit(graph), graph, records
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        config = BiSAGEConfig()
+        assert config.dim == 32
+        assert config.learning_rate == pytest.approx(0.003)
+        assert config.negative_samples == 4
+        assert config.negative_power == pytest.approx(0.75)
+
+    def test_invalid_activation(self):
+        with pytest.raises(ValueError):
+            BiSAGEConfig(activation="swish")
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            BiSAGEConfig(dim=0)
+
+    def test_with_dim(self):
+        assert BiSAGEConfig().with_dim(64).dim == 64
+
+
+class TestTraining:
+    def test_fit_learns(self, fitted):
+        model, graph, _ = fitted
+        assert len(model.loss_history) > 0
+        # Loss should drop overall across training.
+        head = np.mean(model.loss_history[:3])
+        tail = np.mean(model.loss_history[-3:])
+        assert tail < head
+
+    def test_embeddings_shape_and_norm(self, fitted):
+        model, graph, _ = fitted
+        embeddings = model.record_embeddings()
+        assert embeddings.shape == (graph.num_records, FAST.dim)
+        np.testing.assert_allclose(np.linalg.norm(embeddings, axis=1), 1.0, atol=1e-6)
+
+    def test_mac_embeddings_shape(self, fitted):
+        model, graph, _ = fitted
+        assert model.mac_embeddings().shape == (graph.num_macs, FAST.dim)
+
+    def test_deterministic_given_seed(self):
+        records = synthetic_records(20, seed=5)
+        a = BiSAGE(FAST).fit(build_graph(records)).record_embeddings()
+        b = BiSAGE(FAST).fit(build_graph(records)).record_embeddings()
+        np.testing.assert_allclose(a, b)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            BiSAGE(FAST).fit(build_graph([]))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            BiSAGE(FAST).record_embeddings()
+
+    def test_embeddings_reflect_similarity(self):
+        # Two clusters of records with disjoint-ish MAC strengths should be
+        # farther apart than records within a cluster.
+        rng = np.random.default_rng(0)
+        cluster_a = synthetic_records(20, num_macs=10, seed=1, center=1.0)
+        cluster_b = synthetic_records(20, num_macs=10, seed=2, center=8.0)
+        graph = build_graph(cluster_a + cluster_b)
+        model = BiSAGE(BiSAGEConfig(dim=8, epochs=4, seed=0)).fit(graph)
+        # Use the inductive path: all nodes share the inference initial
+        # embedding, so distances reflect neighbourhood structure only.
+        emb = np.vstack([model.embed_record_node(i) for i in range(40)])
+        a, b = emb[:20], emb[20:]
+        within = np.linalg.norm(a - a.mean(0), axis=1).mean()
+        between = np.linalg.norm(a.mean(0) - b.mean(0))
+        assert between > within
+
+
+class TestInductiveInference:
+    def test_embed_readings_known_macs(self, fitted):
+        model, graph, records = fitted
+        embedding = model.embed_readings(dict(records[0].readings))
+        assert embedding.shape == (FAST.dim,)
+        assert abs(np.linalg.norm(embedding) - 1.0) < 1e-6
+
+    def test_embed_readings_all_unknown_returns_none(self, fitted):
+        model, _, _ = fitted
+        assert model.embed_readings({"never-seen": -50.0}) is None
+
+    def test_embed_readings_deterministic(self, fitted):
+        model, _, records = fitted
+        readings = dict(records[1].readings)
+        np.testing.assert_allclose(model.embed_readings(readings),
+                                   model.embed_readings(readings))
+
+    def test_embed_record_node_after_attach(self, fitted):
+        model, graph, records = fitted
+        idx = graph.add_record(SignalRecord(dict(records[2].readings)))
+        embedding = model.embed_record_node(idx)
+        assert embedding.shape == (FAST.dim,)
+
+    def test_attach_with_new_macs_extends_cache(self, fitted):
+        model, graph, records = fitted
+        readings = dict(records[0].readings)
+        readings["brand-new-mac"] = -60.0
+        idx = graph.add_record(SignalRecord(readings))
+        embedding = model.embed_record_node(idx)
+        assert np.isfinite(embedding).all()
+        assert model._cache_hv[0].shape[0] == graph.num_macs
+
+    def test_identical_readings_identical_embeddings(self, fitted):
+        model, graph, records = fitted
+        readings = dict(records[3].readings)
+        i1 = graph.add_record(SignalRecord(readings))
+        i2 = graph.add_record(SignalRecord(readings))
+        np.testing.assert_allclose(model.embed_record_node(i1),
+                                   model.embed_record_node(i2))
+
+    def test_inductive_close_to_training_distribution(self):
+        records = synthetic_records(40, num_macs=10, seed=6)
+        graph = build_graph(records)
+        model = BiSAGE(BiSAGEConfig(dim=8, epochs=3, seed=1)).fit(graph)
+        # A record resembling training data should embed near the
+        # training cloud.
+        probe = model.embed_readings(dict(records[5].readings))
+        train = np.vstack([model.embed_record_node(i) for i in range(20)])
+        spread = np.linalg.norm(train - train.mean(0), axis=1).mean()
+        distance = np.linalg.norm(probe - train.mean(0))
+        assert distance < spread * 4
+
+    def test_refresh_cache_updates_new_macs(self, fitted):
+        model, graph, records = fitted
+        before = model._cache_hv[-1].copy()
+        model.refresh_cache()
+        after = model._cache_hv[-1]
+        assert after.shape[0] == graph.num_macs
+        # Layer-0 rows of original MACs are the deterministic initials.
+        from repro.graph import MAC
+        np.testing.assert_allclose(model._cache_hv[0][0],
+                                   model._initial_matrix(MAC, 1, "h")[0])

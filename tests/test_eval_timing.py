@@ -1,0 +1,56 @@
+"""Timing probes used by the Fig. 14 bench."""
+
+import numpy as np
+import pytest
+
+from repro.core import GEM, GEMConfig
+from repro.embedding.bisage import BiSAGEConfig
+from repro.eval.timing import InferenceTiming, measure_batch_update, measure_inference_breakdown
+
+from conftest import synthetic_records
+
+FAST = GEMConfig(bisage=BiSAGEConfig(dim=8, epochs=1, seed=0))
+
+
+@pytest.fixture(scope="module")
+def gem():
+    model = GEM(FAST)
+    model.fit(synthetic_records(40, seed=0, center=2.0))
+    return model
+
+
+class TestBreakdown:
+    def test_measures_all_steps(self, gem):
+        probe = synthetic_records(10, seed=1, center=2.0)
+        timing = measure_inference_breakdown(gem, probe)
+        assert timing.embed_ms >= 0
+        assert timing.detect_ms >= 0
+        assert timing.update_ms > 0  # update is forced per record
+        assert timing.total_ms == pytest.approx(
+            timing.embed_ms + timing.detect_ms + timing.update_ms)
+
+    def test_empty_records_rejected(self, gem):
+        with pytest.raises(ValueError):
+            measure_inference_breakdown(gem, [])
+
+    def test_dataclass_fields(self):
+        timing = InferenceTiming(embed_ms=1.0, detect_ms=2.0, update_ms=3.0)
+        assert timing.total_ms == 6.0
+
+
+class TestBatchUpdate:
+    def test_returns_per_batch_and_total(self, gem):
+        stream = np.random.default_rng(0).standard_normal((30, 8)) * 0.05
+        per_batch, total = measure_batch_update(gem, stream, batch_size=10)
+        assert per_batch > 0
+        assert total >= per_batch
+
+    def test_absorbs_all_samples(self, gem):
+        before = gem.detector.num_samples
+        stream = np.random.default_rng(1).standard_normal((12, 8)) * 0.05
+        measure_batch_update(gem, stream, batch_size=5)
+        assert gem.detector.num_samples == before + 12
+
+    def test_invalid_batch_size(self, gem):
+        with pytest.raises(ValueError):
+            measure_batch_update(gem, np.zeros((4, 8)), batch_size=0)

@@ -1,0 +1,129 @@
+"""Weighted bipartite graph: construction, dynamics, invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.records import SignalRecord
+from repro.graph import MAC, RECORD, WeightedBipartiteGraph, build_graph
+
+from conftest import synthetic_records
+
+
+def small_graph():
+    graph = WeightedBipartiteGraph(weight_offset=120.0)
+    graph.add_record(SignalRecord({"a": -50.0, "b": -60.0}))
+    graph.add_record(SignalRecord({"b": -55.0, "c": -70.0}))
+    return graph
+
+
+class TestConstruction:
+    def test_counts(self):
+        graph = small_graph()
+        assert graph.num_records == 2
+        assert graph.num_macs == 3
+        assert graph.num_edges == 4
+
+    def test_weight_function_eq2(self):
+        graph = WeightedBipartiteGraph(weight_offset=120.0)
+        assert graph.edge_weight_of_rss(-50.0) == pytest.approx(70.0)
+
+    def test_weight_must_be_positive(self):
+        graph = WeightedBipartiteGraph(weight_offset=100.0)
+        with pytest.raises(ValueError, match="non-positive weight"):
+            graph.edge_weight_of_rss(-120.0)
+
+    def test_invalid_offset(self):
+        with pytest.raises(ValueError):
+            WeightedBipartiteGraph(weight_offset=0.0)
+
+    def test_empty_record_is_isolated_node(self):
+        graph = small_graph()
+        idx = graph.add_record(SignalRecord({}))
+        assert graph.degree(RECORD, idx) == 0
+        assert graph.num_records == 3
+
+    def test_new_macs_added_dynamically(self):
+        graph = small_graph()
+        graph.add_record(SignalRecord({"zz": -40.0}))
+        assert graph.mac_index("zz") == 3
+        assert graph.num_macs == 4
+
+    def test_mac_reuse(self):
+        graph = small_graph()
+        graph.add_record(SignalRecord({"a": -45.0}))
+        assert graph.num_macs == 3
+        neighbors, _ = graph.neighbors(MAC, graph.mac_index("a"))
+        assert set(neighbors.tolist()) == {0, 2}
+
+    def test_build_graph_helper(self):
+        graph = build_graph(synthetic_records(5, seed=1))
+        assert graph.num_records == 5
+        graph.validate()
+
+
+class TestQueries:
+    def test_neighbors_record_side(self):
+        graph = small_graph()
+        neighbors, weights = graph.neighbors(RECORD, 0)
+        assert set(graph.mac_name(i) for i in neighbors) == {"a", "b"}
+        assert (weights > 0).all()
+
+    def test_neighbors_mac_side(self):
+        graph = small_graph()
+        neighbors, weights = graph.neighbors(MAC, graph.mac_index("b"))
+        assert set(neighbors.tolist()) == {0, 1}
+        np.testing.assert_allclose(sorted(weights), [60.0, 65.0])
+
+    def test_neighbors_invalid_side(self):
+        with pytest.raises(ValueError):
+            small_graph().neighbors("X", 0)
+
+    def test_degree_and_weighted_degree(self):
+        graph = small_graph()
+        assert graph.degree(RECORD, 0) == 2
+        assert graph.weighted_degree(RECORD, 0) == pytest.approx(70.0 + 60.0)
+
+    def test_mac_index_unknown_returns_none(self):
+        assert small_graph().mac_index("nope") is None
+
+    def test_nodes_iteration_order(self):
+        nodes = list(small_graph().nodes())
+        assert nodes[:2] == [(RECORD, 0), (RECORD, 1)]
+        assert all(side == MAC for side, _ in nodes[2:])
+
+    def test_degrees_arrays(self):
+        record_deg, mac_deg = small_graph().degrees()
+        assert record_deg.tolist() == [2, 2]
+        assert sorted(mac_deg.tolist()) == [1, 1, 2]
+
+    def test_edges_iteration(self):
+        edges = list(small_graph().edges())
+        assert len(edges) == 4
+        assert all(w > 0 for _, _, w in edges)
+
+    def test_record_adjacency_coo(self):
+        rows, cols, weights = small_graph().record_adjacency()
+        assert len(rows) == len(cols) == len(weights) == 4
+
+    def test_record_adjacency_empty_graph(self):
+        rows, cols, weights = WeightedBipartiteGraph().record_adjacency()
+        assert len(rows) == 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.dictionaries(st.sampled_from(["m1", "m2", "m3", "m4"]),
+                                st.floats(-100, -30), min_size=0, max_size=4),
+                min_size=1, max_size=8))
+def test_property_graph_invariants(reading_dicts):
+    graph = WeightedBipartiteGraph()
+    for readings in reading_dicts:
+        graph.add_record(SignalRecord(readings))
+    graph.validate()
+    # Edge count equals the total number of readings.
+    assert graph.num_edges == sum(len(r) for r in reading_dicts)
+    # Bipartiteness: record neighbours are valid MAC indices and vice versa.
+    for i in range(graph.num_records):
+        neighbors, _ = graph.neighbors(RECORD, i)
+        assert all(0 <= v < graph.num_macs for v in neighbors)

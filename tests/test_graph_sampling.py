@@ -1,0 +1,208 @@
+"""Alias tables, weighted neighbour sampling, negative sampling, walks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.records import SignalRecord
+from repro.graph import (
+    MAC,
+    RECORD,
+    AliasTable,
+    NegativeSampler,
+    RandomWalker,
+    WalkConfig,
+    WeightedBipartiteGraph,
+    WeightedNeighborSampler,
+    walk_pairs,
+)
+
+
+def chain_graph():
+    """r0 - {a,b}, r1 - {b,c}: a 5-node path in bipartite form."""
+    graph = WeightedBipartiteGraph()
+    graph.add_record(SignalRecord({"a": -50.0, "b": -60.0}))
+    graph.add_record(SignalRecord({"b": -55.0, "c": -70.0}))
+    return graph
+
+
+class TestAliasTable:
+    def test_probabilities_normalised(self):
+        table = AliasTable([1.0, 3.0])
+        np.testing.assert_allclose(table.probabilities, [0.25, 0.75])
+
+    def test_empirical_distribution_matches(self):
+        table = AliasTable([1.0, 2.0, 7.0])
+        rng = np.random.default_rng(0)
+        draws = table.sample(rng, size=20000)
+        freq = np.bincount(draws, minlength=3) / 20000
+        np.testing.assert_allclose(freq, [0.1, 0.2, 0.7], atol=0.02)
+
+    def test_single_draw_returns_int(self):
+        assert isinstance(AliasTable([1.0]).sample(np.random.default_rng(0)), int)
+
+    def test_zero_weight_never_sampled(self):
+        table = AliasTable([0.0, 1.0])
+        draws = table.sample(np.random.default_rng(0), size=1000)
+        assert (draws == 1).all()
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            AliasTable([])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            AliasTable([1.0, -1.0])
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValueError):
+            AliasTable([0.0, 0.0])
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.floats(0.01, 10.0), min_size=1, max_size=10))
+    def test_property_draws_in_range(self, weights):
+        table = AliasTable(weights)
+        draws = table.sample(np.random.default_rng(1), size=100)
+        assert ((draws >= 0) & (draws < len(weights))).all()
+
+
+class TestWeightedNeighborSampler:
+    def test_small_degree_returns_full_neighborhood(self):
+        graph = chain_graph()
+        sampler = WeightedNeighborSampler(graph, sample_size=10, rng=0)
+        neighbors, weights = sampler.sample(RECORD, 0)
+        assert len(neighbors) == 2
+
+    def test_large_degree_subsamples(self):
+        graph = WeightedBipartiteGraph()
+        graph.add_record(SignalRecord({f"m{i}": -50.0 for i in range(30)}))
+        sampler = WeightedNeighborSampler(graph, sample_size=5, rng=0)
+        neighbors, _ = sampler.sample(RECORD, 0)
+        assert len(neighbors) == 5
+
+    def test_weight_bias(self):
+        # Degree (6) exceeds the sample size (2) so true sampling happens;
+        # 'strong' (w=90) should dominate the five weak MACs (w=10 each).
+        graph = WeightedBipartiteGraph()
+        readings = {f"weak{i}": -110.0 for i in range(5)}
+        readings["strong"] = -30.0
+        graph.add_record(SignalRecord(readings))
+        sampler = WeightedNeighborSampler(graph, sample_size=2, rng=0)
+        strong_idx = graph.mac_index("strong")
+        hits = 0
+        total = 0
+        for _ in range(300):
+            sampled, _ = sampler.sample(RECORD, 0)
+            hits += (sampled == strong_idx).sum()
+            total += len(sampled)
+        assert hits / total > 0.5  # 90/140 ≈ 0.64 expected vs 0.167 uniform
+
+    def test_isolated_node_empty(self):
+        graph = chain_graph()
+        idx = graph.add_record(SignalRecord({}))
+        sampler = WeightedNeighborSampler(graph, sample_size=5, rng=0)
+        neighbors, weights = sampler.sample(RECORD, idx)
+        assert len(neighbors) == 0
+
+    def test_invalid_sample_size(self):
+        with pytest.raises(ValueError):
+            WeightedNeighborSampler(chain_graph(), sample_size=0)
+
+
+class TestNegativeSampler:
+    def test_returns_requested_count(self):
+        sampler = NegativeSampler(chain_graph(), rng=0)
+        assert len(sampler.sample(7)) == 7
+
+    def test_refs_are_valid(self):
+        graph = chain_graph()
+        sampler = NegativeSampler(graph, rng=0)
+        for side, index in sampler.sample(50):
+            if side == RECORD:
+                assert 0 <= index < graph.num_records
+            else:
+                assert side == MAC and 0 <= index < graph.num_macs
+
+    def test_degree_bias(self):
+        # MAC 'b' has degree 2, others degree 1: it should be sampled most
+        # among MAC nodes under deg^{3/4}.
+        graph = chain_graph()
+        sampler = NegativeSampler(graph, power=0.75, rng=0)
+        counts = {}
+        for side, index in sampler.sample(6000):
+            if side == MAC:
+                counts[index] = counts.get(index, 0) + 1
+        b = graph.mac_index("b")
+        assert counts[b] == max(counts.values())
+
+    def test_rebuilds_after_growth(self):
+        graph = chain_graph()
+        sampler = NegativeSampler(graph, rng=0)
+        sampler.sample(5)
+        graph.add_record(SignalRecord({"zz": -40.0}))
+        refs = sampler.sample(200)
+        assert any(side == MAC and index == graph.mac_index("zz") for side, index in refs)
+
+    def test_sample_global_range(self):
+        graph = chain_graph()
+        sampler = NegativeSampler(graph, rng=0)
+        ids = sampler.sample_global(100)
+        assert ((ids >= 0) & (ids < graph.num_records + graph.num_macs)).all()
+
+    def test_invalid_power(self):
+        with pytest.raises(ValueError):
+            NegativeSampler(chain_graph(), power=-1.0)
+
+
+class TestRandomWalks:
+    def test_walk_alternates_partitions(self):
+        walker = RandomWalker(chain_graph(), WalkConfig(walk_length=5), rng=0)
+        walk = walker.walk_from(RECORD, 0)
+        for (side_a, _), (side_b, _) in zip(walk[:-1], walk[1:]):
+            assert side_a != side_b
+
+    def test_walk_respects_length(self):
+        walker = RandomWalker(chain_graph(), WalkConfig(walk_length=4), rng=0)
+        assert len(walker.walk_from(RECORD, 0)) == 4
+
+    def test_walk_stops_at_isolated_node(self):
+        graph = chain_graph()
+        idx = graph.add_record(SignalRecord({}))
+        walker = RandomWalker(graph, WalkConfig(walk_length=5), rng=0)
+        assert walker.walk_from(RECORD, idx) == [(RECORD, idx)]
+
+    def test_corpus_skips_isolated_nodes(self):
+        graph = chain_graph()
+        graph.add_record(SignalRecord({}))
+        walker = RandomWalker(graph, WalkConfig(walk_length=3, walks_per_node=2), rng=0)
+        corpus = walker.corpus()
+        # 5 connected nodes x 2 walks (isolated record excluded)
+        assert len(corpus) == 10
+
+    def test_walk_weight_bias(self):
+        graph = WeightedBipartiteGraph()
+        graph.add_record(SignalRecord({"strong": -25.0, "weak": -115.0}))
+        walker = RandomWalker(graph, WalkConfig(walk_length=2), rng=0)
+        strong = graph.mac_index("strong")
+        hits = sum(walker.walk_from(RECORD, 0)[1] == (MAC, strong) for _ in range(200))
+        assert hits > 160
+
+    def test_walk_pairs_window_one(self):
+        walk = [(RECORD, 0), (MAC, 1), (RECORD, 2)]
+        pairs = walk_pairs([walk], window=1)
+        assert pairs == [((RECORD, 0), (MAC, 1)), ((MAC, 1), (RECORD, 2))]
+
+    def test_walk_pairs_window_two(self):
+        walk = [(RECORD, 0), (MAC, 1), (RECORD, 2)]
+        pairs = walk_pairs([walk], window=2)
+        assert ((RECORD, 0), (RECORD, 2)) in pairs
+        assert len(pairs) == 3
+
+    def test_walk_pairs_invalid_window(self):
+        with pytest.raises(ValueError):
+            walk_pairs([], window=0)
+
+    def test_walk_config_validation(self):
+        with pytest.raises(ValueError):
+            WalkConfig(walk_length=0)

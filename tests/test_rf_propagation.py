@@ -1,0 +1,151 @@
+"""Propagation model: path loss, walls, floors, shadowing, drift, fading."""
+
+import numpy as np
+import pytest
+
+from repro.rf.geometry import Segment
+from repro.rf.materials import BRICK, DRYWALL, FLOOR_SLAB, Material
+from repro.rf.propagation import BandParams, PropagationConfig, PropagationModel, Wall
+
+
+def model_with_wall():
+    wall = Wall(Segment((5.0, -10.0), (5.0, 10.0)), BRICK, floor=0)
+    return PropagationModel([wall], PropagationConfig(seed=1))
+
+
+def free_space():
+    return PropagationModel([], PropagationConfig(seed=1, shadowing_sigma_db=0.0,
+                                                  drift_sigma_db=0.0))
+
+
+class TestMaterials:
+    def test_five_ghz_attenuates_more(self):
+        for material in (DRYWALL, BRICK, FLOOR_SLAB):
+            assert material.attenuation("5") > material.attenuation("2.4")
+
+    def test_unknown_band_rejected(self):
+        with pytest.raises(ValueError):
+            BRICK.attenuation("60")
+
+    def test_negative_attenuation_rejected(self):
+        with pytest.raises(ValueError):
+            Material("bad", -1.0, 2.0)
+
+
+class TestPathLoss:
+    def test_monotone_in_distance(self):
+        params = BandParams(reference_loss_db=40.0, path_loss_exponent=2.7)
+        losses = [params.path_loss(d) for d in (1, 2, 5, 10, 50)]
+        assert losses == sorted(losses)
+
+    def test_near_field_clamped(self):
+        params = BandParams(reference_loss_db=40.0, path_loss_exponent=2.7)
+        assert params.path_loss(0.01) == params.path_loss(0.4)
+
+    def test_rss_decays_with_distance(self):
+        model = free_space()
+        rss_close = model.mean_rss(17.0, "m", "2.4", (0, 0), 0, (2, 0), 0)
+        rss_far = model.mean_rss(17.0, "m", "2.4", (0, 0), 0, (30, 0), 0)
+        assert rss_close > rss_far
+
+    def test_five_ghz_weaker_at_same_spot(self):
+        model = free_space()
+        rss24 = model.mean_rss(17.0, "m", "2.4", (0, 0), 0, (10, 0), 0)
+        rss5 = model.mean_rss(17.0, "m", "5", (0, 0), 0, (10, 0), 0)
+        assert rss24 > rss5
+
+
+class TestObstruction:
+    def test_wall_crossing_attenuates(self):
+        model = model_with_wall()
+        blocked = model.wall_loss((0, 0), (10, 0), floor=0, band="2.4")
+        assert blocked == pytest.approx(BRICK.attenuation_db_24)
+
+    def test_no_crossing_no_loss(self):
+        model = model_with_wall()
+        assert model.wall_loss((0, 0), (4, 0), floor=0, band="2.4") == 0.0
+
+    def test_other_floor_walls_ignored(self):
+        model = model_with_wall()
+        assert model.wall_loss((0, 0), (10, 0), floor=1, band="2.4") == 0.0
+
+    def test_floor_loss_scales_with_floors(self):
+        model = free_space()
+        one = model.floor_loss(0, 1, "2.4")
+        two = model.floor_loss(0, 2, "2.4")
+        assert two == pytest.approx(2 * one)
+        assert one == pytest.approx(FLOOR_SLAB.attenuation_db_24)
+
+    def test_cross_floor_rss_weaker(self):
+        model = free_space()
+        same = model.mean_rss(17.0, "m", "2.4", (0, 0), 0, (5, 0), 0)
+        other = model.mean_rss(17.0, "m", "2.4", (0, 0), 1, (5, 0), 0)
+        assert same > other
+
+
+class TestShadowingAndDrift:
+    def test_shadowing_deterministic(self):
+        a = model_with_wall().mean_rss(17.0, "m", "2.4", (0, 0), 0, (3, 3), 0)
+        b = model_with_wall().mean_rss(17.0, "m", "2.4", (0, 0), 0, (3, 3), 0)
+        assert a == b
+
+    def test_shadowing_spatially_smooth(self):
+        model = PropagationModel([], PropagationConfig(seed=3, fading_sigma_db=0.0,
+                                                       drift_sigma_db=0.0))
+        base = model._shadowing("m", 0, (10.0, 10.0))
+        near = model._shadowing("m", 0, (10.5, 10.0))
+        far = model._shadowing("m", 0, (60.0, 60.0))
+        assert abs(near - base) < 1.5  # within a grid cell: nearly equal
+        # Deterministic values exist everywhere.
+        assert np.isfinite(far)
+
+    def test_different_macs_different_fields(self):
+        model = PropagationModel([], PropagationConfig(seed=3))
+        values = {model._shadowing(f"mac{i}", 0, (5.0, 5.0)) for i in range(8)}
+        assert len(values) > 1
+
+    def test_drift_zero_when_disabled(self):
+        model = PropagationModel([], PropagationConfig(drift_sigma_db=0.0))
+        assert model.temporal_drift("m", 1234.0) == 0.0
+
+    def test_drift_continuous_in_time(self):
+        model = PropagationModel([], PropagationConfig(seed=5))
+        a = model.temporal_drift("m", 100.0)
+        b = model.temporal_drift("m", 101.0)
+        assert abs(a - b) < 0.5
+
+    def test_drift_decorrelates_over_hours(self):
+        model = PropagationModel([], PropagationConfig(seed=5))
+        diffs = [abs(model.temporal_drift(f"mac{i}", 0.0)
+                     - model.temporal_drift(f"mac{i}", 7200.0)) for i in range(20)]
+        assert max(diffs) > 1.0
+
+
+class TestSampling:
+    def test_sample_adds_noise(self):
+        model = model_with_wall()
+        rng = np.random.default_rng(0)
+        samples = [model.sample_rss(17.0, "m", "2.4", (0, 0), 0, (3, 3), 0, rng)
+                   for _ in range(20)]
+        assert np.std(samples) > 0.1
+
+    def test_crowd_penalty_lowers_rss(self):
+        model = free_space()
+        rng = np.random.default_rng(0)
+        quiet = model.sample_rss(17.0, "m", "2.4", (0, 0), 0, (3, 3), 0,
+                                 np.random.default_rng(1))
+        busy = model.sample_rss(17.0, "m", "2.4", (0, 0), 0, (3, 3), 0,
+                                np.random.default_rng(1), crowd_penalty_db=10.0)
+        assert busy == pytest.approx(quiet - 10.0)
+
+    def test_unknown_band_rejected(self):
+        with pytest.raises(ValueError):
+            free_space().mean_rss(17.0, "m", "60", (0, 0), 0, (1, 0), 0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PropagationConfig(shadowing_sigma_db=-1.0)
+        with pytest.raises(ValueError):
+            PropagationConfig(deep_fade_probability=1.5)
+        with pytest.raises(ValueError):
+            PropagationConfig(drift_block_s=0.0)

@@ -1,0 +1,114 @@
+"""Scenario builders: geometry sanity and RF plausibility."""
+
+import numpy as np
+import pytest
+
+from repro.rf.scenarios import home_scenario, lab_scenario, multi_floor_building
+from repro.rf.scanner import Scanner
+from repro.rf.trajectory import TimedPosition
+
+
+class TestHomeScenario:
+    def test_geofence_area_close_to_request(self):
+        scenario = home_scenario(area_m2=50.0, seed=0)
+        assert scenario.environment.geofence.area == pytest.approx(50.0, rel=0.05)
+
+    def test_regions_are_disjoint_from_geofence(self):
+        scenario = home_scenario(area_m2=50.0, seed=0)
+        geofence = scenario.environment.geofence
+        rng = np.random.default_rng(0)
+        for region, floor in scenario.outside_regions:
+            for _ in range(10):
+                point = region.sample_point(rng)
+                assert not (geofence.contains(point) and
+                            floor in scenario.environment.geofence_floors)
+
+    def test_detached_has_two_floors(self):
+        scenario = home_scenario(area_m2=200.0, detached=True, seed=0)
+        assert scenario.environment.geofence_floors == (0, 1)
+        assert len(scenario.inside_regions) == 2
+
+    def test_attached_single_floor(self):
+        scenario = home_scenario(area_m2=50.0, detached=False, seed=0)
+        assert scenario.environment.geofence_floors == (0,)
+
+    def test_ap_counts(self):
+        scenario = home_scenario(aps_inside=2, aps_near=5, aps_far=3, seed=0)
+        assert len(scenario.environment.aps) == 10
+
+    def test_deterministic_in_seed(self):
+        a = home_scenario(seed=5)
+        b = home_scenario(seed=5)
+        assert [ap.position for ap in a.environment.aps] == \
+               [ap.position for ap in b.environment.aps]
+
+    def test_different_seeds_differ(self):
+        a = home_scenario(seed=5)
+        b = home_scenario(seed=6)
+        assert [ap.position for ap in a.environment.aps] != \
+               [ap.position for ap in b.environment.aps]
+
+    def test_inside_rss_stronger_than_outside(self):
+        # The home AP should read stronger inside than in the away region.
+        scenario = home_scenario(area_m2=50.0, seed=1)
+        env = scenario.environment
+        home_mac = env.aps[0].macs[0]
+        inside_rss = env.propagation.mean_rss(
+            env.aps[0].radios[0].tx_power_dbm, home_mac, "2.4",
+            env.aps[0].position, env.aps[0].floor,
+            env.geofence.centroid(), 0)
+        away_region, away_floor = scenario.outside_regions[-1]
+        away_rss = env.propagation.mean_rss(
+            env.aps[0].radios[0].tx_power_dbm, home_mac, "2.4",
+            env.aps[0].position, env.aps[0].floor,
+            away_region.centroid(), away_floor)
+        assert inside_rss > away_rss + 10
+
+
+class TestLabScenario:
+    def test_corridor_is_outside(self):
+        scenario = lab_scenario(seed=0)
+        corridor, floor = scenario.outside_regions[0]
+        assert not scenario.environment.is_inside(corridor.centroid(), floor)
+
+    def test_transient_aps_add_macs(self):
+        quiet = lab_scenario(seed=0, transient_aps=0)
+        busy = lab_scenario(seed=0, transient_aps=8)
+        assert len(busy.environment.aps) == len(quiet.environment.aps) + 8
+
+    def test_lab_area(self):
+        scenario = lab_scenario(seed=0)
+        assert scenario.area_m2 == pytest.approx(15 * 8)
+
+
+class TestMultiFloorBuilding:
+    def test_geofence_is_one_floor(self):
+        scenario = multi_floor_building(num_floors=5, geofence_floor=2, seed=0)
+        assert scenario.environment.geofence_floors == (2,)
+        assert len(scenario.outside_regions) == 4
+
+    def test_invalid_geofence_floor(self):
+        with pytest.raises(ValueError):
+            multi_floor_building(num_floors=3, geofence_floor=5)
+
+    def test_aps_spread_over_floors(self):
+        scenario = multi_floor_building(num_floors=4, aps_per_floor=6, seed=0)
+        floors = {ap.floor for ap in scenario.environment.aps}
+        assert floors == {0, 1, 2, 3}
+
+    def test_cross_floor_attenuation_visible(self):
+        # A scan two floors away should read the same AP much weaker.
+        scenario = multi_floor_building(num_floors=3, geofence_floor=1, seed=0)
+        env = scenario.environment
+        scanner = Scanner(env, rng=0)
+        ap = env.aps[0]
+        same = env.propagation.mean_rss(ap.radios[0].tx_power_dbm, ap.macs[0], "2.4",
+                                        ap.position, ap.floor, ap.position, ap.floor)
+        far = env.propagation.mean_rss(ap.radios[0].tx_power_dbm, ap.macs[0], "2.4",
+                                       ap.position, ap.floor, ap.position, ap.floor + 2)
+        assert same - far > 20
+
+    def test_extras_recorded(self):
+        scenario = multi_floor_building(num_floors=5, geofence_floor=2, seed=0)
+        assert scenario.extras["num_floors"] == 5
+        assert scenario.extras["geofence_floor"] == 2
