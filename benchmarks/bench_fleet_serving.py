@@ -1,0 +1,125 @@
+"""Fleet serving — multi-tenant throughput and checkpoint latency.
+
+Not a paper figure: this benchmarks the ``repro.serve`` subsystem the
+ROADMAP's production north-star rests on.  Reported shapes to watch:
+
+* throughput (records/s) with every tenant resident vs. an LRU budget
+  of half the tenants (eviction churn pays a load+save per miss);
+* checkpoint save/load latency, which bounds how fast a cold tenant
+  can come online and how expensive write-back eviction is.
+"""
+
+import time
+
+import numpy as np
+
+from bench_common import FULL, write_result
+
+from repro.core.config import GEMConfig
+from repro.core.gem import GEM
+from repro.core.records import SignalRecord
+from repro.embedding.bisage import BiSAGEConfig
+from repro.eval.reporting import format_table
+from repro.serve import GeofenceFleet, ModelRegistry, load_checkpoint, save_checkpoint
+
+TENANT_COUNTS = [4, 8, 16] if FULL else [3, 6]
+TRAIN_RECORDS = 40
+STREAM_PER_TENANT = 40 if FULL else 25
+SERVE_CONFIG = GEMConfig(bisage=BiSAGEConfig(dim=16, epochs=2, seed=0))
+
+
+def tenant_world(tenant: int, n: int, seed_offset: int = 0) -> list[SignalRecord]:
+    """Cheap per-tenant RF world: RSS pattern centred on the tenant id."""
+    rng = np.random.default_rng(1000 * tenant + seed_offset)
+    records = []
+    for i in range(n):
+        readings = {}
+        for m in range(12):
+            rss = -45.0 - 5.0 * abs(m - (2.0 + tenant % 5)) + rng.normal(0, 1.5)
+            if rss > -95 and rng.random() < 0.9:
+                readings[f"t{tenant % 5}:mac{m:02d}"] = float(rss)
+        if not readings:
+            readings[f"t{tenant % 5}:mac00"] = -80.0
+        records.append(SignalRecord(readings, timestamp=float(i)))
+    return records
+
+
+def make_model() -> GEM:
+    return GEM(SERVE_CONFIG)
+
+
+def provision_fleet(root, num_tenants: int, capacity: int) -> GeofenceFleet:
+    fleet = GeofenceFleet(ModelRegistry(root), capacity=capacity,
+                          model_factory=make_model)
+    for t in range(num_tenants):
+        fleet.provision(f"tenant-{t:03d}", tenant_world(t, TRAIN_RECORDS))
+    return fleet
+
+
+def interleaved_stream(num_tenants: int):
+    items = []
+    for i in range(STREAM_PER_TENANT):
+        for t in range(num_tenants):
+            record = tenant_world(t, 1, seed_offset=10_000 + i)[0]
+            items.append((f"tenant-{t:03d}", record))
+    return items
+
+
+def run_throughput(tmp_root):
+    rows = []
+    for num_tenants in TENANT_COUNTS:
+        for label, capacity in (("all resident", num_tenants),
+                                ("half resident", max(1, num_tenants // 2))):
+            fleet = provision_fleet(tmp_root / f"{num_tenants}-{capacity}",
+                                    num_tenants, capacity)
+            items = interleaved_stream(num_tenants)
+            start = time.perf_counter()
+            fleet.observe_many(items)
+            elapsed = time.perf_counter() - start
+            totals = fleet.telemetry.totals()
+            rows.append((num_tenants, capacity, label, len(items) / elapsed,
+                         totals.loads, totals.evictions))
+            fleet.close()
+    return rows
+
+
+def run_checkpoint_latency(tmp_root, rounds: int = 5):
+    model = make_model().fit(tenant_world(0, TRAIN_RECORDS))
+    path = tmp_root / "latency"
+    save_ms, load_ms = [], []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        save_checkpoint(model, path)
+        save_ms.append(1e3 * (time.perf_counter() - start))
+        start = time.perf_counter()
+        load_checkpoint(path)
+        load_ms.append(1e3 * (time.perf_counter() - start))
+    return float(np.median(save_ms)), float(np.median(load_ms))
+
+
+def test_fleet_throughput(benchmark, tmp_path):
+    rows = benchmark.pedantic(run_throughput, args=(tmp_path,), rounds=1, iterations=1)
+    table = [[str(t), str(c), label, f"{rps:.0f}", str(loads), str(evictions)]
+             for t, c, label, rps, loads, evictions in rows]
+    write_result("fleet_throughput",
+                 format_table(["tenants", "capacity", "mode", "records/s",
+                               "loads", "evictions"],
+                              table, title="Fleet serving throughput"))
+    # Churn must cost throughput but never correctness; resident serving
+    # must not page models at all.
+    by_mode = {(t, label): rps for t, _, label, rps, _, _ in rows}
+    for num_tenants in TENANT_COUNTS:
+        assert by_mode[(num_tenants, "all resident")] > 0
+        assert by_mode[(num_tenants, "half resident")] > 0
+    resident_loads = [loads for _, c, label, _, loads, _ in rows if label == "all resident"]
+    assert all(loads == 0 for loads in resident_loads)
+
+
+def test_checkpoint_latency(benchmark, tmp_path):
+    save_ms, load_ms = benchmark.pedantic(run_checkpoint_latency, args=(tmp_path,),
+                                          rounds=1, iterations=1)
+    write_result("fleet_checkpoint_latency",
+                 format_table(["operation", "median ms"],
+                              [["save", f"{save_ms:.1f}"], ["load", f"{load_ms:.1f}"]],
+                              title="Checkpoint save/load latency"))
+    assert save_ms > 0 and load_ms > 0

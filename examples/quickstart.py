@@ -2,14 +2,21 @@
 
 Trains on a few minutes of perimeter-walk scans, then streams test
 records through the online inference loop (Algorithm 2), printing the
-decision for a handful of them and the final accuracy.
+decision for a handful of them and the final accuracy.  Finishes by
+checkpointing the trained (and self-updated) model to disk and proving
+the reloaded copy scores identically — the persistence layer the
+multi-tenant fleet server (``repro.serve``) is built on.
 
 Run:  python examples/quickstart.py
 """
 
+import tempfile
+from pathlib import Path
+
 from repro import GEM, GEMConfig
 from repro.datasets import user_dataset
 from repro.eval.metrics import metrics_from_pairs
+from repro.serve import ModelRegistry
 
 
 def main() -> None:
@@ -39,6 +46,17 @@ def main() -> None:
     print(f"\nF_in={metrics.f_in:.3f}  F_out={metrics.f_out:.3f}  "
           f"(P_in={metrics.p_in:.2f} R_in={metrics.r_in:.2f} "
           f"P_out={metrics.p_out:.2f} R_out={metrics.r_out:.2f})")
+
+    # Persist the trained model and reload it: decisions are identical,
+    # so a served tenant can be evicted and paged back in at any time.
+    with tempfile.TemporaryDirectory() as tmp:
+        registry = ModelRegistry(Path(tmp) / "models")
+        registry.save("user-3", gem, metadata={"area_m2": 50})
+        reloaded = registry.load("user-3")
+        probe = data.test[-1].record
+        assert reloaded.score(probe) == gem.score(probe)
+        print(f"\ncheckpointed to registry ({registry.tenants()}) and reloaded: "
+              f"score {reloaded.score(probe):.3f} matches the live model")
 
 
 if __name__ == "__main__":

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 
 from repro.detection.histogram import HistogramConfig
 from repro.embedding.bisage import BiSAGEConfig
@@ -49,3 +49,17 @@ class GEMConfig:
     def with_bins(self, num_bins: int) -> "GEMConfig":
         """Convenience for the Fig. 13(c)/14(c) bin-count sweeps."""
         return replace(self, histogram=replace(self.histogram, num_bins=num_bins))
+
+    def to_dict(self) -> dict:
+        """JSON-safe nested dict of every hyper-parameter."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GEMConfig":
+        """Inverse of :meth:`to_dict` (used by checkpoint loading)."""
+        data = dict(data)
+        if "bisage" in data:
+            data["bisage"] = BiSAGEConfig.from_dict(data["bisage"])
+        if "histogram" in data:
+            data["histogram"] = HistogramConfig.from_dict(data["histogram"])
+        return cls(**data)

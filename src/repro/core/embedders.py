@@ -19,6 +19,7 @@ from repro.embedding.bisage import BiSAGE, BiSAGEConfig
 from repro.embedding.graphsage import GraphSAGE, GraphSAGEConfig
 from repro.embedding.matrix import DEFAULT_FILL_DBM, MatrixView
 from repro.embedding.mds import ClassicalMDS
+from repro.graph.bipartite import WeightedBipartiteGraph
 from repro.graph.builder import build_graph
 
 __all__ = [
@@ -100,6 +101,31 @@ class BiSAGEEmbedder(_GraphEmbedderBase):
     def fit(self, records: Sequence[SignalRecord]) -> "BiSAGEEmbedder":
         graph = self._fit_graph(records)
         self.model = BiSAGE(self.config).fit(graph)
+        return self
+
+    def state_dict(self) -> dict:
+        """Checkpointable state: graph + model + streaming bookkeeping."""
+        self._require_fitted()
+        return {
+            "weight_offset": self.weight_offset,
+            "refresh_every": self.refresh_every,
+            "observed_since_refresh": self._observed_since_refresh,
+            "num_training_records": self._num_training_records,
+            "graph": self.graph.state_dict(),
+            "model": self.model.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> "BiSAGEEmbedder":
+        """Restore an embedder saved by :meth:`state_dict`."""
+        self.weight_offset = float(state["weight_offset"])
+        self.refresh_every = int(state["refresh_every"])
+        self._observed_since_refresh = int(state["observed_since_refresh"])
+        self.graph = WeightedBipartiteGraph.from_state_dict(state["graph"])
+        self._num_training_records = int(state["num_training_records"])
+        if self._num_training_records > self.graph.num_records:
+            raise ValueError(f"state claims {self._num_training_records} training records "
+                             f"but graph has only {self.graph.num_records}")
+        self.model = BiSAGE(self.config).load_state_dict(state["model"], self.graph)
         return self
 
 

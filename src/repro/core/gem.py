@@ -97,16 +97,32 @@ class EmbeddingGeofencer:
         if outlier:
             return GeofenceDecision(inside=False, score=score)
         confident = bool(self._confident(row))
+        buffered = False
         updated = False
         if confident and self.self_update and hasattr(self.detector, "update"):
             self._update_buffer.append(embedding)
+            buffered = True
             if len(self._update_buffer) >= self.batch_update_size:
                 self.flush_updates()
-            updated = True
-        return GeofenceDecision(inside=True, score=score, confident=confident, updated=updated)
+                updated = True
+        return GeofenceDecision(inside=True, score=score, confident=confident,
+                                buffered=buffered, updated=updated)
 
-    def observe_stream(self, records: Iterable[SignalRecord]) -> list[GeofenceDecision]:
-        return [self.observe(record) for record in records]
+    def observe_stream(self, records: Iterable[SignalRecord],
+                       flush: bool = True) -> list[GeofenceDecision]:
+        """Observe a whole stream; by default flush any leftover updates.
+
+        With ``batch_update_size > 1`` the stream can end with confident
+        inliers still sitting in the update buffer; ``flush=True``
+        applies them once the stream is exhausted (decisions already made
+        are unaffected — only the final model state differs).  Pass
+        ``flush=False`` to keep the partial buffer pending, e.g. when the
+        same pipeline will continue on another stream.
+        """
+        decisions = [self.observe(record) for record in records]
+        if flush:
+            self.flush_updates()
+        return decisions
 
     def flush_updates(self) -> int:
         """Apply any buffered batch update; returns samples absorbed."""
@@ -116,6 +132,57 @@ class EmbeddingGeofencer:
         self._update_buffer = []
         self.detector.update(batch)
         return len(batch)
+
+    @property
+    def pending_updates(self) -> int:
+        """Confident inliers buffered but not yet applied to the detector."""
+        return len(self._update_buffer)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Checkpointable state of the whole pipeline.
+
+        Requires both the embedder and the detector to expose
+        ``state_dict`` themselves (BiSAGE + the histogram detector do).
+        """
+        if not self._fitted:
+            raise RuntimeError("cannot checkpoint an unfitted pipeline; call fit first")
+        for part in (self.embedder, self.detector):
+            if not hasattr(part, "state_dict"):
+                raise TypeError(f"{type(part).__name__} does not support checkpointing "
+                                "(no state_dict method)")
+        if self._update_buffer:
+            buffer = np.vstack(self._update_buffer)
+        else:
+            buffer = np.empty((0, 0), dtype=np.float64)
+        return {
+            "self_update": self.self_update,
+            "batch_update_size": self.batch_update_size,
+            "update_buffer": buffer,
+            "embedder": self.embedder.state_dict(),
+            "detector": self.detector.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> "EmbeddingGeofencer":
+        """Restore pipeline state saved by :meth:`state_dict` in place.
+
+        Restores *into the existing* embedder/detector instances, so a
+        mid-load failure (bad detector payload after a good embedder
+        load) can leave the pipeline partially restored.  :class:`GEM`
+        overrides this with an all-or-nothing restore; prefer that (or a
+        fresh instance via ``from_state_dict``) when loading untrusted
+        checkpoints into a live model.
+        """
+        self.self_update = bool(state["self_update"])
+        self.batch_update_size = int(state["batch_update_size"])
+        buffer = np.asarray(state["update_buffer"], dtype=np.float64)
+        self._update_buffer = [row for row in buffer] if buffer.size else []
+        self.embedder.load_state_dict(state["embedder"])
+        self.detector.load_state_dict(state["detector"])
+        self._fitted = True
+        return self
 
     def _confident(self, row: np.ndarray) -> bool:
         if hasattr(self.detector, "is_confident_inlier"):
@@ -152,3 +219,47 @@ class GEM(EmbeddingGeofencer):
     def bisage(self):
         """The trained BiSAGE model (after fit)."""
         return self.embedder.model
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["config"] = self.config.to_dict()
+        return state
+
+    def load_state_dict(self, state: dict) -> "GEM":
+        """Restore GEM state; the checkpoint's config must match ours.
+
+        The nested BiSAGE/histogram states validate their own configs;
+        this guards the pipeline-level fields (``self_update``,
+        ``batch_update_size``, ``weight_offset``, ...) so ``self.config``
+        can never misdescribe the restored model.
+
+        All-or-nothing: the state is restored into freshly constructed
+        components and only swapped in once every piece loaded, so a
+        corrupt checkpoint leaves a live model completely untouched.
+        """
+        saved_config = GEMConfig.from_dict(state["config"])
+        if saved_config != self.config:
+            raise ValueError("checkpoint config does not match this model's config; "
+                             f"saved {saved_config}, constructed with {self.config}")
+        config = self.config
+        embedder = BiSAGEEmbedder(config.bisage,
+                                  weight_offset=config.weight_offset,
+                                  refresh_every=config.refresh_cache_every)
+        embedder.load_state_dict(state["embedder"])
+        detector = HistogramDetector(config.histogram).load_state_dict(state["detector"])
+        buffer = np.asarray(state["update_buffer"], dtype=np.float64)
+        # Commit point: nothing above mutated self.
+        self.embedder = embedder
+        self.detector = detector
+        self.self_update = bool(state["self_update"])
+        self.batch_update_size = int(state["batch_update_size"])
+        self._update_buffer = [row for row in buffer] if buffer.size else []
+        self._fitted = True
+        return self
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "GEM":
+        """Reconstruct a fitted GEM from :meth:`state_dict` output."""
+        gem = cls(GEMConfig.from_dict(state["config"]))
+        gem.load_state_dict(state)
+        return gem

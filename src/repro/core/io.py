@@ -67,7 +67,7 @@ def load_records(path: str | Path) -> list[SignalRecord]:
                 continue
             try:
                 records.append(record_from_dict(json.loads(line)))
-            except (json.JSONDecodeError, ValueError) as error:
+            except (json.JSONDecodeError, TypeError, ValueError) as error:
                 raise ValueError(f"{path}:{line_number}: bad record line: {error}") from error
     return records
 
@@ -99,7 +99,7 @@ def load_labeled_records(path: str | Path) -> list[LabeledRecord]:
                 record = record_from_dict(data)
                 items.append(LabeledRecord(record, inside=bool(data["inside"]),
                                            meta=data.get("meta", {})))
-            except (json.JSONDecodeError, KeyError, ValueError) as error:
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError) as error:
                 raise ValueError(f"{path}:{line_number}: bad labelled line: {error}") from error
     return items
 

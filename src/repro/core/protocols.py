@@ -19,13 +19,16 @@ class GeofenceDecision:
     ``inside`` is the prediction (True = in-premises); ``score`` is the
     model's outlier score (higher = more outlying, +inf when the record
     could not be embedded at all); ``confident`` marks a highly confident
-    inlier; ``updated`` records whether the observation was absorbed into
-    the model.
+    inlier; ``buffered`` records that the observation entered the
+    pending batch-update buffer; ``updated`` that an update was actually
+    *applied* to the detector during this observation (with
+    ``batch_update_size == 1`` the two coincide).
     """
 
     inside: bool
     score: float
     confident: bool = False
+    buffered: bool = False
     updated: bool = False
 
 

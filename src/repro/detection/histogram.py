@@ -22,7 +22,7 @@ enhancement" arm of Fig. 7(b).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
@@ -67,6 +67,14 @@ class HistogramConfig:
             raise ValueError(f"tau_lower ({self.tau_lower}) must not exceed tau_upper ({self.tau_upper})")
         check_probability(self.contamination, "contamination")
         check_positive(self.pseudo_count, "pseudo_count")
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict form; see :meth:`from_dict`."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HistogramConfig":
+        return cls(**data)
 
 
 class HistogramDetector:
@@ -204,6 +212,33 @@ class HistogramDetector:
     def num_samples(self) -> int:
         self._require_fitted()
         return len(self._data)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Checkpointable state: config + absorbed embeddings.
+
+        Histograms, normalisation and thresholds are deterministic
+        functions of the stored data, so :meth:`load_state_dict` rebuilds
+        them instead of persisting derived arrays.
+        """
+        self._require_fitted()
+        return {
+            "config": self.config.to_dict(),
+            "data": self._data.copy(),
+            "num_updates": self.num_updates,
+        }
+
+    def load_state_dict(self, state: dict) -> "HistogramDetector":
+        """Restore a detector saved by :meth:`state_dict`."""
+        saved_cfg = HistogramConfig.from_dict(state["config"])
+        if saved_cfg != self.config:
+            raise ValueError("checkpoint config does not match this detector's config; "
+                             f"saved {saved_cfg}, constructed with {self.config}")
+        self.fit(np.asarray(state["data"], dtype=np.float64))
+        self.num_updates = int(state["num_updates"])
+        return self
 
     def _require_fitted(self) -> None:
         if self._data is None:

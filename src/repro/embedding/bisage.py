@@ -18,7 +18,7 @@ The algorithmic content of the paper's core contribution:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 
 import numpy as np
 
@@ -30,7 +30,8 @@ from repro.embedding.common import (
 from repro.graph.bipartite import MAC, RECORD, WeightedBipartiteGraph
 from repro.graph.sampling import NegativeSampler
 from repro.graph.walks import RandomWalker, WalkConfig, walk_pairs
-from repro.nn import Adam, Parameter, Tensor, init, no_grad, ops, spmm
+from repro.nn import (Adam, Parameter, Tensor, export_parameters, init,
+                      load_parameters, no_grad, ops, spmm)
 from repro.utils.rng import as_rng
 from repro.utils.validation import check_positive, check_positive_int
 
@@ -89,6 +90,18 @@ class BiSAGEConfig:
 
     def with_dim(self, dim: int) -> "BiSAGEConfig":
         return replace(self, dim=dim)
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict (nested WalkConfig included); see :meth:`from_dict`."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BiSAGEConfig":
+        data = dict(data)
+        walk = data.pop("walk", None)
+        if walk is not None:
+            data["walk"] = WalkConfig.from_dict(walk)
+        return cls(**data)
 
 
 class BiSAGE:
@@ -366,6 +379,68 @@ class BiSAGE:
             h = _l2_rows(act(np.concatenate([h, h_agg]) @ self.weights_h[k].data))
             l = _l2_rows(act(np.concatenate([l, l_agg]) @ self.weights_l[k].data))
         return h
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def parameters(self) -> list[Parameter]:
+        """All trainable parameters (primary then auxiliary weights)."""
+        return self.weights_h + self.weights_l
+
+    def state_dict(self) -> dict:
+        """Checkpointable state: config, weights and inference caches.
+
+        The per-layer caches are saved verbatim (rather than rebuilt on
+        load) so a restored model reproduces inductive embeddings —
+        and therefore geofence decisions — bit-for-bit, even when MACs
+        were appended to the graph after the last :meth:`refresh_cache`.
+        The bound graph is *not* included; the owner saves it separately
+        and passes it back to :meth:`load_state_dict`.
+        """
+        self._require_fitted()
+        state: dict = {
+            "config": self.config.to_dict(),
+            "macs_aggregated": self._macs_aggregated,
+            "loss_history": [float(x) for x in self.loss_history],
+            "parameters": export_parameters(self.parameters()),
+        }
+        for name in ("hu", "lu", "hv", "lv"):
+            layers = getattr(self, f"_cache_{name}")
+            state[f"cache_{name}"] = {str(k): layer.copy() for k, layer in enumerate(layers)}
+        return state
+
+    def load_state_dict(self, state: dict, graph: WeightedBipartiteGraph) -> "BiSAGE":
+        """Restore a model saved by :meth:`state_dict` onto ``graph``.
+
+        ``graph`` must be the graph the state was saved against (or a
+        reconstruction of it); cache shapes are validated against it.
+        """
+        cfg = self.config
+        saved_cfg = BiSAGEConfig.from_dict(state["config"])
+        if saved_cfg != cfg:
+            raise ValueError("checkpoint config does not match this model's config; "
+                             f"saved {saved_cfg}, constructed with {cfg}")
+        self.weights_h = [Parameter(np.zeros((2 * cfg.dim, cfg.dim))) for _ in range(cfg.num_layers)]
+        self.weights_l = [Parameter(np.zeros((2 * cfg.dim, cfg.dim))) for _ in range(cfg.num_layers)]
+        load_parameters(self.parameters(), state["parameters"])
+        for name in ("hu", "lu", "hv", "lv"):
+            saved = state[f"cache_{name}"]
+            layers = [np.asarray(saved[str(k)], dtype=np.float64) for k in range(len(saved))]
+            if len(layers) != cfg.num_layers + 1:
+                raise ValueError(f"cache_{name} has {len(layers)} layers, expected {cfg.num_layers + 1}")
+            for layer in layers:
+                if layer.shape[1] != cfg.dim:
+                    raise ValueError(f"cache_{name} dimension {layer.shape[1]} != config dim {cfg.dim}")
+            setattr(self, f"_cache_{name}", layers)
+        num_u = self._cache_hu[0].shape[0]
+        if num_u > graph.num_records:
+            raise ValueError(f"cached {num_u} record nodes but graph has only {graph.num_records}")
+        self._macs_aggregated = int(state["macs_aggregated"])
+        if self._macs_aggregated > graph.num_macs:
+            raise ValueError(f"macs_aggregated={self._macs_aggregated} exceeds graph's {graph.num_macs} MACs")
+        self.loss_history = [float(x) for x in state.get("loss_history", [])]
+        self.graph = graph
+        return self
 
 
 def _l2_rows(x: np.ndarray, eps: float = 1e-12) -> np.ndarray:

@@ -40,7 +40,10 @@ class EvaluationResult:
 
     @property
     def num_updates(self) -> int:
-        return sum(1 for decision in self.decisions if decision.updated)
+        """Confident-inlier samples absorbed into (or buffered for) the
+        model — one per buffered observation, independent of how the
+        batch size groups them into flushes."""
+        return sum(1 for decision in self.decisions if decision.buffered)
 
     def roc(self) -> RocCurve:
         """ROC over the streamed scores with 'outside' as positive."""

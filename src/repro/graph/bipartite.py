@@ -174,6 +174,57 @@ class WeightedBipartiteGraph:
         weights = np.concatenate([w for w in self._record_weights if len(w)])
         return rows, cols, weights
 
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Checkpointable state: flat edge arrays + the MAC name table.
+
+        Edges are stored record-major as ``(record_indptr, edge_macs,
+        edge_weights)`` — record ``u``'s edges occupy the slice
+        ``record_indptr[u]:record_indptr[u+1]``.  The reverse (MAC-side)
+        adjacency is derived, so it is rebuilt on load rather than saved.
+        """
+        record_deg, _ = self.degrees()
+        indptr = np.zeros(self.num_records + 1, dtype=np.int64)
+        np.cumsum(record_deg, out=indptr[1:])
+        _, edge_macs, edge_weights = self.record_adjacency()
+        return {
+            "weight_offset": self.weight_offset,
+            "mac_names": list(self._mac_names),
+            "record_indptr": indptr,
+            "edge_macs": edge_macs,
+            "edge_weights": edge_weights,
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "WeightedBipartiteGraph":
+        """Rebuild a graph saved by :meth:`state_dict`."""
+        graph = cls(weight_offset=float(state["weight_offset"]))
+        for mac in state["mac_names"]:
+            graph._intern_mac(str(mac))
+        indptr = np.asarray(state["record_indptr"], dtype=np.int64)
+        edge_macs = np.asarray(state["edge_macs"], dtype=np.int64)
+        edge_weights = np.asarray(state["edge_weights"], dtype=np.float64)
+        if (len(edge_macs) != len(edge_weights)
+                or len(indptr) == 0 or indptr[0] != 0 or indptr[-1] != len(edge_macs)
+                or (np.diff(indptr) < 0).any()):
+            raise ValueError("graph state has inconsistent edge arrays")
+        if len(edge_macs) and (edge_macs.min() < 0 or edge_macs.max() >= graph.num_macs):
+            raise ValueError("graph state references a MAC index outside the name table")
+        for u in range(len(indptr) - 1):
+            lo, hi = indptr[u], indptr[u + 1]
+            macs = edge_macs[lo:hi].copy()
+            weights = edge_weights[lo:hi].copy()
+            graph._record_neighbors.append(macs)
+            graph._record_weights.append(weights)
+            for mac_idx, weight in zip(macs, weights):
+                graph._mac_neighbors[mac_idx].append(u)
+                graph._mac_weights[mac_idx].append(float(weight))
+            graph._num_edges += len(macs)
+        graph.validate()
+        return graph
+
     def validate(self) -> None:
         """Check structural invariants; raises AssertionError on violation."""
         forward = sum(len(n) for n in self._record_neighbors)

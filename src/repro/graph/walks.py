@@ -40,6 +40,10 @@ class WalkConfig:
         check_positive_int(self.walks_per_node, "walks_per_node")
         check_positive_int(self.window, "window")
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "WalkConfig":
+        return cls(**{k: int(v) for k, v in data.items()})
+
 
 class RandomWalker:
     """Generates weighted random walks on a bipartite graph."""

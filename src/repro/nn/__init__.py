@@ -5,7 +5,18 @@ BiSAGE, GraphSAGE and the convolutional autoencoder baseline train on.
 """
 
 from repro.nn import init, ops
-from repro.nn.layers import Conv1d, Linear, Module, Parameter, ReLU, Sequential, Sigmoid, Tanh
+from repro.nn.layers import (
+    Conv1d,
+    Linear,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+    export_parameters,
+    load_parameters,
+)
 from repro.nn.optim import Adam, Optimizer, SGD
 from repro.nn.sparse import row_normalized_csr, spmm
 from repro.nn.tensor import Tensor, as_tensor, is_grad_enabled, no_grad
@@ -24,7 +35,9 @@ __all__ = [
     "Tanh",
     "Tensor",
     "as_tensor",
+    "export_parameters",
     "init",
+    "load_parameters",
     "is_grad_enabled",
     "no_grad",
     "ops",

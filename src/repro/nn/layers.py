@@ -15,7 +15,8 @@ from repro.nn.tensor import Tensor, as_tensor
 from repro.utils.rng import as_rng
 from repro.utils.validation import check_positive_int
 
-__all__ = ["Module", "Parameter", "Linear", "Conv1d", "Sequential", "ReLU", "Sigmoid", "Tanh"]
+__all__ = ["Module", "Parameter", "Linear", "Conv1d", "Sequential", "ReLU", "Sigmoid", "Tanh",
+           "export_parameters", "load_parameters"]
 
 
 class Parameter(Tensor):
@@ -23,6 +24,35 @@ class Parameter(Tensor):
 
     def __init__(self, data):
         super().__init__(data, requires_grad=True)
+
+
+def export_parameters(parameters, prefix: str = "param") -> dict[str, np.ndarray]:
+    """Flat ``{f"{prefix}_{i}": array}`` mapping of parameter data (copies).
+
+    The inverse of :func:`load_parameters`; the shared currency of every
+    checkpointable model in the library (the GNNs keep bare parameter
+    lists rather than :class:`Module` trees).
+    """
+    return {f"{prefix}_{i}": p.data.copy() for i, p in enumerate(parameters)}
+
+
+def load_parameters(parameters, state: dict[str, np.ndarray], prefix: str = "param") -> None:
+    """Load arrays exported by :func:`export_parameters` back in place.
+
+    Validates count and per-parameter shape so a checkpoint from a model
+    with different hyper-parameters fails loudly instead of silently.
+    """
+    parameters = list(parameters)
+    expected = {f"{prefix}_{i}" for i in range(len(parameters))}
+    if set(state) != expected:
+        raise ValueError(f"parameter state has keys {sorted(state)}, "
+                         f"model expects {sorted(expected)}")
+    for i, param in enumerate(parameters):
+        incoming = np.asarray(state[f"{prefix}_{i}"], dtype=np.float64)
+        if incoming.shape != param.data.shape:
+            raise ValueError(f"shape mismatch for {prefix}_{i}: "
+                             f"{incoming.shape} vs {param.data.shape}")
+        param.data = incoming.copy()
 
 
 class Module:
@@ -50,17 +80,10 @@ class Module:
 
     def state_dict(self) -> dict[str, np.ndarray]:
         """Flat mapping of parameter arrays (copies) for checkpointing."""
-        return {f"param_{i}": p.data.copy() for i, p in enumerate(self.parameters())}
+        return export_parameters(self.parameters())
 
     def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
-        params = self.parameters()
-        if len(state) != len(params):
-            raise ValueError(f"state has {len(state)} entries, model has {len(params)} parameters")
-        for i, param in enumerate(params):
-            incoming = np.asarray(state[f"param_{i}"], dtype=np.float64)
-            if incoming.shape != param.data.shape:
-                raise ValueError(f"shape mismatch for param_{i}: {incoming.shape} vs {param.data.shape}")
-            param.data = incoming.copy()
+        load_parameters(self.parameters(), state)
 
 
 def _collect(value, seen: set[int]) -> list[Parameter]:

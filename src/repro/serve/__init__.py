@@ -1,0 +1,37 @@
+"""Model persistence and multi-tenant fleet serving.
+
+The paper's deployment model is one GEM per user premises (Table II);
+this package turns the in-memory pipeline into a servable asset:
+
+* :mod:`repro.serve.checkpoint` — versioned on-disk format (npz arrays
+  + JSON manifest) for any fitted pipeline exposing ``state_dict``;
+* :mod:`repro.serve.registry` — per-tenant checkpoint store with
+  atomic writes;
+* :mod:`repro.serve.fleet` — LRU-cached multi-tenant server with dirty
+  write-back and batched dispatch;
+* :mod:`repro.serve.telemetry` — per-tenant / fleet-wide counters.
+"""
+
+from repro.serve.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    load_checkpoint,
+    read_manifest,
+    save_checkpoint,
+)
+from repro.serve.fleet import GeofenceFleet
+from repro.serve.registry import ModelRegistry, validate_tenant_id
+from repro.serve.telemetry import FleetTelemetry, TenantStats
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CheckpointError",
+    "FleetTelemetry",
+    "GeofenceFleet",
+    "ModelRegistry",
+    "TenantStats",
+    "load_checkpoint",
+    "read_manifest",
+    "save_checkpoint",
+    "validate_tenant_id",
+]

@@ -1,0 +1,297 @@
+"""Versioned on-disk checkpoints for fitted geofencing pipelines.
+
+A checkpoint is a directory holding two files:
+
+``arrays-<save_id>.npz``
+    Every numpy array of the model's (nested) ``state_dict``, stored
+    under its flattened key path (``"embedder/graph/edge_weights"``).
+``manifest.json``
+    Format version, model class, library version, user metadata, the
+    name of the arrays file it commits, and every non-array leaf of
+    the state under the same flattened keys.
+
+The split keeps the format language-neutral and diffable: the manifest
+is plain JSON you can read with any tool, and the arrays are standard
+npz.  Saves are crash-safe: the arrays are written under a fresh
+per-save name, then the manifest — the single commit point — is
+swapped in with ``os.replace``, and only then are superseded arrays
+files deleted.  A crash at any step leaves the previous complete
+checkpoint loadable; both files also carry the save nonce so a
+manually mixed pair is rejected as torn.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+import uuid
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro import __version__
+from repro.core.gem import GEM
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "MANIFEST_NAME",
+    "ARRAYS_PREFIX",
+    "ARRAYS_SUFFIX",
+    "CheckpointError",
+    "flatten_state",
+    "unflatten_state",
+    "save_checkpoint",
+    "load_checkpoint",
+    "load_checkpoint_with_manifest",
+    "load_state",
+    "read_manifest",
+]
+
+CHECKPOINT_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+ARRAYS_PREFIX = "arrays-"
+ARRAYS_SUFFIX = ".npz"
+
+_SEP = "/"
+# Reserved npz entry holding the save nonce (also recorded in the
+# manifest).  Array *names* are structural and identical across saves of
+# the same model, so matching key sets cannot prove the two files come
+# from the same save; matching nonces can.
+_SAVE_ID_KEY = "__save_id__"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint is missing, torn, or structurally invalid."""
+
+
+# ----------------------------------------------------------------------
+# State-tree flattening
+# ----------------------------------------------------------------------
+def flatten_state(state: dict, prefix: str = "") -> tuple[dict[str, np.ndarray], dict[str, Any]]:
+    """Split a nested state dict into (arrays, JSON-safe leaves).
+
+    Dicts are structure and are recursed into; numpy arrays become npz
+    entries; everything else (scalars, strings, bools, lists of
+    scalars) becomes a manifest leaf.  Keys must not contain ``"/"``.
+    """
+    arrays: dict[str, np.ndarray] = {}
+    leaves: dict[str, Any] = {}
+    for key, value in state.items():
+        key = str(key)
+        if _SEP in key:
+            raise ValueError(f"state keys must not contain {_SEP!r}: {key!r}")
+        path = f"{prefix}{key}"
+        if isinstance(value, dict):
+            sub_arrays, sub_leaves = flatten_state(value, prefix=path + _SEP)
+            arrays.update(sub_arrays)
+            leaves.update(sub_leaves)
+        elif isinstance(value, np.ndarray):
+            arrays[path] = value
+        else:
+            leaves[path] = _json_safe(value)
+    return arrays, leaves
+
+
+def unflatten_state(arrays: dict[str, np.ndarray], leaves: dict[str, Any]) -> dict:
+    """Rebuild the nested state dict from flattened arrays + leaves."""
+    state: dict = {}
+    for path, value in list(leaves.items()) + list(arrays.items()):
+        parts = path.split(_SEP)
+        node = state
+        for part in parts[:-1]:
+            node = node.setdefault(part, {})
+            if not isinstance(node, dict):
+                raise CheckpointError(f"key {path!r} descends through a non-dict entry")
+        node[parts[-1]] = value
+    return state
+
+
+def _json_safe(value):
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    raise TypeError(f"state leaf of type {type(value).__name__} is not JSON-serialisable")
+
+
+# ----------------------------------------------------------------------
+# Saving
+# ----------------------------------------------------------------------
+def _fsync_dir(directory: Path) -> None:
+    """Flush directory entries (renames/unlinks) to stable storage.
+
+    Best effort: directories cannot be opened on some platforms
+    (Windows); there the rename is as durable as the OS makes it.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _replace_into(directory: Path, name: str, writer) -> None:
+    """Write a file via a same-directory temp file + atomic os.replace.
+
+    The directory is fsynced after the rename so a power loss cannot
+    reorder a later unlink ahead of this commit.
+    """
+    fd, tmp_name = tempfile.mkstemp(prefix=f".{name}.", dir=directory)
+    tmp = Path(tmp_name)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            writer(handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, directory / name)
+        _fsync_dir(directory)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+def save_checkpoint(model, directory: str | Path, metadata: dict | None = None) -> Path:
+    """Persist a fitted model's ``state_dict`` under ``directory``.
+
+    ``model`` must expose ``state_dict()`` (e.g. :class:`GEM`).  Returns
+    the checkpoint directory.  Overwriting an existing checkpoint never
+    destroys it: the new arrays land under a fresh name, the manifest
+    swap is the atomic commit, and the superseded arrays file is only
+    deleted after the commit — a crash anywhere leaves the previous (or
+    the new) complete checkpoint loadable.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    state = model.state_dict()
+    arrays, leaves = flatten_state(state)
+    if _SAVE_ID_KEY in arrays:
+        raise ValueError(f"state must not use the reserved key {_SAVE_ID_KEY!r}")
+    save_id = uuid.uuid4().hex
+    arrays[_SAVE_ID_KEY] = np.frombuffer(save_id.encode("ascii"), dtype=np.uint8).copy()
+    arrays_name = f"{ARRAYS_PREFIX}{save_id}{ARRAYS_SUFFIX}"
+    manifest = {
+        "format_version": CHECKPOINT_VERSION,
+        "model_class": type(model).__name__,
+        "repro_version": __version__,
+        "saved_at": time.time(),
+        "save_id": save_id,
+        "arrays_file": arrays_name,
+        "array_keys": sorted(arrays),
+        "metadata": _json_safe(metadata or {}),
+        "state": leaves,
+    }
+    _replace_into(directory, arrays_name, lambda h: np.savez(h, **arrays))
+    _replace_into(directory, MANIFEST_NAME,
+                  lambda h: h.write(json.dumps(manifest, indent=1, sort_keys=True).encode()))
+    # Post-commit cleanup: drop arrays files no manifest references and
+    # dot-prefixed temp files orphaned by earlier crashed saves (safe
+    # under the single-writer-per-directory assumption).
+    for stale in directory.glob(f"{ARRAYS_PREFIX}*{ARRAYS_SUFFIX}"):
+        if stale.name != arrays_name:
+            stale.unlink(missing_ok=True)
+    for orphan in list(directory.glob(f".{ARRAYS_PREFIX}*")) + list(directory.glob(f".{MANIFEST_NAME}.*")):
+        orphan.unlink(missing_ok=True)
+    return directory
+
+
+# ----------------------------------------------------------------------
+# Loading
+# ----------------------------------------------------------------------
+def read_manifest(directory: str | Path) -> dict:
+    """Read and validate the manifest of a checkpoint directory."""
+    directory = Path(directory)
+    manifest_path = directory / MANIFEST_NAME
+    if not manifest_path.is_file():
+        raise CheckpointError(f"no checkpoint at {directory} (missing {MANIFEST_NAME})")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except json.JSONDecodeError as error:
+        raise CheckpointError(f"{manifest_path}: corrupt manifest: {error}") from error
+    version = manifest.get("format_version")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(f"{manifest_path}: format version {version!r} is not "
+                              f"supported (this build reads version {CHECKPOINT_VERSION})")
+    return manifest
+
+
+def load_state(directory: str | Path, _retries: int = 2) -> tuple[dict, dict]:
+    """Load ``(state, manifest)`` from a checkpoint directory.
+
+    Safe against one concurrent writer: if a save commits a new manifest
+    and garbage-collects the arrays file this reader was about to open,
+    the read is retried against the fresh manifest.  Concurrent *saves*
+    to the same directory are not supported (the fleet serialises them).
+    """
+    directory = Path(directory)
+    manifest = read_manifest(directory)
+    arrays_name = manifest.get("arrays_file")
+    if not isinstance(arrays_name, str) or _SEP in arrays_name or os.sep in arrays_name:
+        raise CheckpointError(f"checkpoint at {directory} has a bad arrays_file entry: "
+                              f"{arrays_name!r}")
+    arrays_path = directory / arrays_name
+    if not arrays_path.is_file():
+        if _retries > 0 and read_manifest(directory).get("arrays_file") != arrays_name:
+            return load_state(directory, _retries=_retries - 1)
+        raise CheckpointError(f"checkpoint at {directory} is missing its arrays file "
+                              f"{arrays_name}")
+    try:
+        with np.load(arrays_path) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+    except FileNotFoundError:
+        # Unlinked between the is_file check and the open: same race.
+        if _retries > 0:
+            return load_state(directory, _retries=_retries - 1)
+        raise CheckpointError(f"checkpoint at {directory} is missing its arrays file "
+                              f"{arrays_name}")
+    except Exception as error:  # truncated/corrupt zip, bad pickle header, ...
+        raise CheckpointError(f"{arrays_path}: corrupt array archive: {error}") from error
+    expected = set(manifest.get("array_keys", []))
+    if set(arrays) != expected:
+        raise CheckpointError(f"checkpoint at {directory} is torn: manifest expects "
+                              f"{len(expected)} arrays, {arrays_name} holds {len(arrays)}")
+    arrays_save_id = bytes(arrays.pop(_SAVE_ID_KEY, np.empty(0, dtype=np.uint8))).decode("ascii")
+    if arrays_save_id != manifest.get("save_id"):
+        raise CheckpointError(f"checkpoint at {directory} is torn: {MANIFEST_NAME} and "
+                              f"{arrays_name} come from different saves")
+    return unflatten_state(arrays, manifest.get("state", {})), manifest
+
+
+def load_checkpoint_with_manifest(directory: str | Path) -> tuple[GEM, dict]:
+    """Reconstruct a fitted :class:`GEM` plus the manifest it came from.
+
+    One disk read serves both, so the model and its metadata are
+    guaranteed to belong to the same save even with a concurrent writer.
+    """
+    state, manifest = load_state(directory)
+    model_class = manifest.get("model_class")
+    if model_class != "GEM":
+        raise CheckpointError(f"checkpoint holds a {model_class!r} model; "
+                              "only GEM checkpoints can be loaded")
+    try:
+        model = GEM.from_state_dict(state)
+    except (KeyError, TypeError, ValueError) as error:
+        # Missing state leaves, wrong config types, shape mismatches:
+        # all mean the checkpoint is structurally invalid.
+        raise CheckpointError(f"checkpoint at {directory} is structurally invalid: "
+                              f"{error}") from error
+    return model, manifest
+
+
+def load_checkpoint(directory: str | Path) -> GEM:
+    """Reconstruct a fitted :class:`GEM` from a checkpoint directory."""
+    model, _ = load_checkpoint_with_manifest(directory)
+    return model

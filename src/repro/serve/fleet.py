@@ -1,0 +1,251 @@
+"""Multi-tenant geofence serving: one GEM per premises, many premises.
+
+The paper deploys one model per user home (Table II); a service serves
+millions of them.  :class:`GeofenceFleet` is the single-node building
+block: it keeps at most ``capacity`` models resident, lazily loading a
+tenant's checkpoint from a :class:`~repro.serve.registry.ModelRegistry`
+on first touch, evicting the least-recently-used tenant when the budget
+is exceeded, and writing dirty (observed-since-load) models back to the
+registry before they leave memory — so an evicted tenant's next
+observation resumes from *exactly* the state it would have had in
+memory, self-updates included.
+
+Thread safety: one re-entrant lock serialises model access.  The models
+themselves are single-threaded numpy pipelines, so the lock is the
+correctness boundary, not a performance afterthought; scale-out happens
+by running many fleets behind a tenant-hash router (see ROADMAP).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from threading import RLock
+from typing import Callable, Iterable, Sequence
+
+from repro.core.gem import GEM
+from repro.core.protocols import GeofenceDecision
+from repro.core.records import SignalRecord
+from repro.serve.checkpoint import CheckpointError
+from repro.serve.registry import ModelRegistry, validate_tenant_id
+from repro.serve.telemetry import FleetTelemetry
+
+__all__ = ["GeofenceFleet"]
+
+
+class GeofenceFleet:
+    """LRU-cached, write-back, multi-tenant geofence server.
+
+    Parameters
+    ----------
+    registry:
+        Backing checkpoint store (or a path to root one at).
+    capacity:
+        Maximum number of tenant models resident at once.
+    model_factory:
+        Zero-argument callable producing an unfitted pipeline for
+        :meth:`provision`; defaults to ``GEM()`` with paper defaults.
+    telemetry:
+        Counter sink; a fresh :class:`FleetTelemetry` by default.
+    """
+
+    def __init__(self, registry: ModelRegistry | str, capacity: int = 8,
+                 model_factory: Callable[[], GEM] | None = None,
+                 telemetry: FleetTelemetry | None = None):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.registry = registry if isinstance(registry, ModelRegistry) else ModelRegistry(registry)
+        self.capacity = capacity
+        self.model_factory = model_factory if model_factory is not None else GEM
+        self.telemetry = telemetry if telemetry is not None else FleetTelemetry()
+        # tenant_id -> model, most-recently-used last.
+        self._cache: "OrderedDict[str, GEM]" = OrderedDict()
+        self._dirty: set[str] = set()
+        # Checkpoint metadata, cached so write-backs don't re-read the
+        # manifest from disk on the serving path.
+        self._metadata: dict[str, dict] = {}
+        self._lock = RLock()
+
+    # ------------------------------------------------------------------
+    # Tenant lifecycle
+    # ------------------------------------------------------------------
+    def provision(self, tenant_id: str, records: Sequence[SignalRecord],
+                  metadata: dict | None = None) -> GEM:
+        """Fit a fresh model for a tenant and persist it immediately."""
+        validate_tenant_id(tenant_id)
+        model = self.model_factory()
+        model.fit(records)
+        with self._lock:
+            self._metadata[tenant_id] = dict(metadata or {})
+            self._save(tenant_id, model)
+            self._cache[tenant_id] = model
+            self._cache.move_to_end(tenant_id)
+            self._dirty.discard(tenant_id)
+            self._shrink()
+        return model
+
+    def evict(self, tenant_id: str) -> bool:
+        """Drop a tenant from memory (write-back first if dirty)."""
+        with self._lock:
+            if tenant_id not in self._cache:
+                return False
+            self._drop(tenant_id)
+            return True
+
+    def flush(self, tenant_id: str | None = None) -> int:
+        """Write dirty resident models back; returns checkpoints written.
+
+        With a ``tenant_id``, flushes just that tenant; otherwise every
+        dirty resident tenant.  Models stay resident.
+        """
+        with self._lock:
+            targets = [tenant_id] if tenant_id is not None else list(self._cache)
+            written = 0
+            for tid in targets:
+                model = self._cache.get(tid)
+                if model is not None and tid in self._dirty:
+                    self._write_back(tid, model)
+                    written += 1
+            return written
+
+    def close(self) -> None:
+        """Write back everything dirty and drop all resident models."""
+        with self._lock:
+            self.flush()
+            self._cache.clear()
+            self._dirty.clear()
+            self._metadata.clear()
+
+    def __enter__(self) -> "GeofenceFleet":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def observe(self, tenant_id: str, record: SignalRecord) -> GeofenceDecision:
+        """Algorithm-2 observation against one tenant's model."""
+        with self._lock:
+            model = self._acquire(tenant_id)
+            start = time.perf_counter()
+            decision = model.observe(record)
+            elapsed = time.perf_counter() - start
+            # observe() with attach=True mutates the graph even when no
+            # detector update fires — except for empty records, which
+            # return before touching anything.
+            if record.readings:
+                self._dirty.add(tenant_id)
+        self.telemetry.record_observation(tenant_id, decision, seconds=elapsed)
+        return decision
+
+    def observe_many(self, items: Iterable[tuple[str, SignalRecord]]) -> list[GeofenceDecision]:
+        """Batched dispatch: group by tenant, answer in input order.
+
+        Grouping means each tenant's model is looked up (and possibly
+        loaded) once per batch instead of once per record, which is what
+        keeps throughput flat when a batch interleaves tenants beyond
+        the LRU budget.
+
+        Every tenant in the batch is validated (well-formed id, has a
+        checkpoint) *before* any observation mutates any model, so a bad
+        batch fails without leaving earlier tenants half-served.  A
+        checkpoint that turns unreadable mid-batch can still abort the
+        remainder after some groups have been applied.
+        """
+        items = list(items)
+        by_tenant: "OrderedDict[str, list[int]]" = OrderedDict()
+        for position, (tenant_id, _) in enumerate(items):
+            by_tenant.setdefault(tenant_id, []).append(position)
+        with self._lock:
+            for tenant_id in by_tenant:
+                if tenant_id not in self._cache and not self.registry.exists(tenant_id):
+                    raise CheckpointError(f"tenant {tenant_id!r} has no checkpoint under "
+                                          f"{self.registry.root}; batch rejected untouched")
+        decisions: list[GeofenceDecision | None] = [None] * len(items)
+        for tenant_id, positions in by_tenant.items():
+            with self._lock:
+                model = self._acquire(tenant_id)
+                start = time.perf_counter()
+                batch = [model.observe(items[p][1]) for p in positions]
+                elapsed = (time.perf_counter() - start) / max(len(positions), 1)
+                if any(items[p][1].readings for p in positions):
+                    self._dirty.add(tenant_id)
+            for position, decision in zip(positions, batch):
+                decisions[position] = decision
+                self.telemetry.record_observation(tenant_id, decision, seconds=elapsed)
+        return decisions
+
+    def score(self, tenant_id: str, record: SignalRecord) -> float:
+        """Stateless outlier score against one tenant's model."""
+        with self._lock:
+            return self._acquire(tenant_id).score(record)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def resident_tenants(self) -> list[str]:
+        """Tenants currently in memory, least-recently-used first."""
+        with self._lock:
+            return list(self._cache)
+
+    def is_dirty(self, tenant_id: str) -> bool:
+        with self._lock:
+            return tenant_id in self._dirty
+
+    # ------------------------------------------------------------------
+    # Internals (call with the lock held)
+    # ------------------------------------------------------------------
+    def _acquire(self, tenant_id: str) -> GEM:
+        model = self._cache.get(tenant_id)
+        if model is None:
+            start = time.perf_counter()
+            # One read yields both, so model and metadata always belong
+            # to the same save even with a concurrent writer process.
+            model, manifest = self.registry.load_with_manifest(tenant_id)
+            self._metadata.setdefault(tenant_id, manifest.get("metadata", {}))
+            self.telemetry.record_load(tenant_id, seconds=time.perf_counter() - start)
+            self._cache[tenant_id] = model
+            self._shrink(keep=tenant_id)
+        self._cache.move_to_end(tenant_id)
+        return model
+
+    def _shrink(self, keep: str | None = None) -> None:
+        while len(self._cache) > self.capacity:
+            victim = next(iter(self._cache))
+            if victim == keep:
+                self._cache.move_to_end(victim)
+                victim = next(iter(self._cache))
+            self._drop(victim)
+
+    def _drop(self, tenant_id: str) -> None:
+        """Evict one resident tenant: write back, then forget.
+
+        Write-back happens *before* the pops: if the save fails, the
+        tenant stays resident and dirty instead of losing its absorbed
+        self-updates.  Metadata leaves memory with the model; otherwise
+        a long-lived fleet grows one entry per tenant ever touched.
+        """
+        self._write_back(tenant_id, self._cache[tenant_id])
+        self._cache.pop(tenant_id)
+        self._metadata.pop(tenant_id, None)
+        self.telemetry.record_eviction(tenant_id)
+        # Bound telemetry memory the same way: fold the evicted tenant's
+        # counters into the retired aggregate.
+        self.telemetry.retire(tenant_id)
+
+    def _write_back(self, tenant_id: str, model: GEM) -> None:
+        if tenant_id not in self._dirty:
+            return
+        # The partial self-update buffer is checkpointed as-is (not
+        # flushed), so a reloaded model resumes with zero decision drift.
+        self._save(tenant_id, model)
+        self._dirty.discard(tenant_id)
+
+    def _save(self, tenant_id: str, model: GEM) -> None:
+        start = time.perf_counter()
+        self.registry.save(tenant_id, model,
+                           metadata=self._metadata.get(tenant_id, {}))
+        self.telemetry.record_save(tenant_id, seconds=time.perf_counter() - start)

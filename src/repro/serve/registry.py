@@ -1,0 +1,107 @@
+"""Per-tenant checkpoint store rooted at one directory.
+
+Layout: ``root/<tenant_id>/`` is one checkpoint directory (see
+:mod:`repro.serve.checkpoint`).  Tenant ids are restricted to a safe
+character set so an id can never escape the root or collide with the
+registry's own temp files.  All writes inherit the checkpoint module's
+crash-safe semantics: ``save`` over an existing tenant commits by an
+atomic manifest swap, so a concurrent ``load`` (or a crash mid-save)
+sees either the old or the new complete checkpoint, never a chimera.
+"""
+
+from __future__ import annotations
+
+import re
+import shutil
+from pathlib import Path
+
+from repro.serve.checkpoint import (
+    MANIFEST_NAME,
+    CheckpointError,
+    load_checkpoint_with_manifest,
+    read_manifest,
+    save_checkpoint,
+)
+
+__all__ = ["ModelRegistry", "validate_tenant_id"]
+
+_TENANT_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$")
+
+
+def validate_tenant_id(tenant_id: str) -> str:
+    """Return ``tenant_id`` if it is registry-safe, else raise ValueError."""
+    if not isinstance(tenant_id, str) or not _TENANT_RE.match(tenant_id):
+        raise ValueError(
+            f"invalid tenant id {tenant_id!r}: must be 1-128 chars of "
+            "[A-Za-z0-9._-] starting with an alphanumeric")
+    return tenant_id
+
+
+class ModelRegistry:
+    """Stores one checkpoint per tenant under a root directory."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, tenant_id: str) -> Path:
+        """The checkpoint directory a tenant's model lives in."""
+        return self.root / validate_tenant_id(tenant_id)
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def save(self, tenant_id: str, model, metadata: dict | None = None) -> Path:
+        """Checkpoint ``model`` as ``tenant_id``'s current model."""
+        return save_checkpoint(model, self.path_for(tenant_id), metadata=metadata)
+
+    def delete(self, tenant_id: str) -> bool:
+        """Remove a tenant's checkpoint; True if one existed."""
+        path = self.path_for(tenant_id)
+        if not path.is_dir():
+            return False
+        shutil.rmtree(path)
+        return True
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def exists(self, tenant_id: str) -> bool:
+        return (self.path_for(tenant_id) / MANIFEST_NAME).is_file()
+
+    def load(self, tenant_id: str):
+        """Reconstruct the tenant's fitted model (raises if absent/torn)."""
+        model, _ = self.load_with_manifest(tenant_id)
+        return model
+
+    def load_with_manifest(self, tenant_id: str) -> tuple:
+        """``(model, manifest)`` from one read, so the pair is coherent."""
+        path = self.path_for(tenant_id)
+        if not self.exists(tenant_id):
+            raise CheckpointError(f"tenant {tenant_id!r} has no checkpoint under {self.root}")
+        return load_checkpoint_with_manifest(path)
+
+    def manifest(self, tenant_id: str) -> dict:
+        """The tenant checkpoint's full manifest (version, metadata, ...)."""
+        return read_manifest(self.path_for(tenant_id))
+
+    def metadata(self, tenant_id: str) -> dict:
+        """Just the user metadata stored with the tenant's checkpoint."""
+        return self.manifest(tenant_id).get("metadata", {})
+
+    def tenants(self) -> list[str]:
+        """Sorted ids of every tenant with a complete checkpoint."""
+        out = []
+        for entry in self.root.iterdir():
+            if entry.is_dir() and (entry / MANIFEST_NAME).is_file() and _TENANT_RE.match(entry.name):
+                out.append(entry.name)
+        return sorted(out)
+
+    def __contains__(self, tenant_id: str) -> bool:
+        try:
+            return self.exists(tenant_id)
+        except ValueError:
+            return False
+
+    def __len__(self) -> int:
+        return len(self.tenants())

@@ -1,0 +1,137 @@
+"""Serving telemetry: per-tenant and fleet-wide counters.
+
+The fleet records every observation outcome and every model lifecycle
+event (load, save, eviction) against the tenant it belongs to.
+Counters are plain integers plus a few seconds-accumulators, guarded by
+one lock so concurrent observers aggregate safely; :meth:`snapshot`
+returns deep copies that are safe to serialise or diff.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass, field, fields
+
+__all__ = ["TenantStats", "FleetTelemetry"]
+
+
+@dataclass
+class TenantStats:
+    """Cumulative counters for one tenant."""
+
+    observations: int = 0
+    inside: int = 0
+    outside: int = 0
+    unembeddable: int = 0      # footnote-3 records (score = +inf)
+    buffered: int = 0          # confident inliers entering the update buffer
+    updates_applied: int = 0   # batch updates actually flushed into the detector
+    loads: int = 0             # checkpoint loads (cache misses)
+    saves: int = 0             # checkpoint write-backs
+    evictions: int = 0         # LRU evictions
+    observe_seconds: float = 0.0
+    load_seconds: float = 0.0
+    save_seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def merge(self, other: "TenantStats") -> None:
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+
+@dataclass
+class FleetTelemetry:
+    """Thread-safe registry of :class:`TenantStats`, one per tenant.
+
+    Per-tenant entries are bounded: when the fleet evicts a tenant it
+    calls :meth:`retire`, folding the counters into one ``retired``
+    aggregate so fleet-wide totals stay exact while memory stays
+    proportional to the *resident* set, not every tenant ever served.
+    """
+
+    _stats: dict[str, TenantStats] = field(default_factory=dict)
+    _retired: TenantStats = field(default_factory=TenantStats)
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def _tenant(self, tenant_id: str) -> TenantStats:
+        stats = self._stats.get(tenant_id)
+        if stats is None:
+            stats = self._stats.setdefault(tenant_id, TenantStats())
+        return stats
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_observation(self, tenant_id: str, decision, seconds: float = 0.0) -> None:
+        """Fold one GeofenceDecision into the tenant's counters."""
+        with self._lock:
+            stats = self._tenant(tenant_id)
+            stats.observations += 1
+            if decision.inside:
+                stats.inside += 1
+            else:
+                stats.outside += 1
+            if math.isinf(decision.score):
+                stats.unembeddable += 1
+            if decision.buffered:
+                stats.buffered += 1
+            if decision.updated:
+                stats.updates_applied += 1
+            stats.observe_seconds += seconds
+
+    def record_load(self, tenant_id: str, seconds: float = 0.0) -> None:
+        with self._lock:
+            stats = self._tenant(tenant_id)
+            stats.loads += 1
+            stats.load_seconds += seconds
+
+    def record_save(self, tenant_id: str, seconds: float = 0.0) -> None:
+        with self._lock:
+            stats = self._tenant(tenant_id)
+            stats.saves += 1
+            stats.save_seconds += seconds
+
+    def record_eviction(self, tenant_id: str) -> None:
+        with self._lock:
+            self._tenant(tenant_id).evictions += 1
+
+    def retire(self, tenant_id: str) -> None:
+        """Fold a no-longer-resident tenant's counters into the aggregate."""
+        with self._lock:
+            stats = self._stats.pop(tenant_id, None)
+            if stats is not None:
+                self._retired.merge(stats)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def tenant(self, tenant_id: str) -> TenantStats:
+        """Copy of one tenant's counters (zeros if never seen)."""
+        with self._lock:
+            stats = self._stats.get(tenant_id, TenantStats())
+            return TenantStats(**stats.as_dict())
+
+    def totals(self) -> TenantStats:
+        """Fleet-wide counters: every tracked tenant plus the retired sum."""
+        with self._lock:
+            total = TenantStats(**self._retired.as_dict())
+            for stats in self._stats.values():
+                total.merge(stats)
+            return total
+
+    def snapshot(self) -> dict:
+        """``{"tenants", "retired", "totals"}`` counters, deep-copied.
+
+        ``tenants`` holds per-tenant counters for tenants not yet
+        retired; ``retired`` is the folded aggregate of evicted ones;
+        ``totals`` is their exact fleet-wide sum.
+        """
+        with self._lock:
+            tenants = {tid: stats.as_dict() for tid, stats in sorted(self._stats.items())}
+            retired = self._retired.as_dict()
+        total = TenantStats(**retired)
+        for counters in tenants.values():
+            total.merge(TenantStats(**counters))
+        return {"tenants": tenants, "retired": retired, "totals": total.as_dict()}

@@ -153,6 +153,60 @@ class TestSelfUpdate:
         fitted_gem.flush_updates()
         assert fitted_gem.flush_updates() == 0
 
+    def test_buffered_vs_updated_semantics(self):
+        """With batching, ``buffered`` marks entry into the buffer and
+        ``updated`` only fires on the observation whose flush applies it."""
+        config = replace(FAST_CONFIG, batch_update_size=3)
+        gem = GEM(config)
+        gem.fit(synthetic_records(50, seed=0, center=2.0))
+        base = gem.detector.num_samples
+        buffered_decisions = [d for d in (gem.observe(r) for r in
+                                          synthetic_records(30, seed=7, center=2.0))
+                              if d.buffered]
+        assert buffered_decisions, "stream produced no confident inliers"
+        for decision in buffered_decisions:
+            if decision.updated:
+                # An applied update implies the sample was buffered first.
+                assert decision.buffered
+        # Exactly one in every batch_update_size buffered samples applies.
+        applied = sum(d.updated for d in buffered_decisions)
+        assert applied == len(buffered_decisions) // 3
+        assert gem.detector.num_samples == base + 3 * applied
+        assert gem.pending_updates == len(buffered_decisions) - 3 * applied
+
+    def test_single_batch_buffered_equals_updated(self):
+        gem = GEM(FAST_CONFIG)  # batch_update_size == 1
+        gem.fit(synthetic_records(50, seed=0, center=2.0))
+        for record in synthetic_records(20, seed=7, center=2.0):
+            decision = gem.observe(record)
+            assert decision.buffered == decision.updated
+
+    def test_observe_stream_flushes_partial_buffer(self):
+        """Regression: a stream ending mid-batch must not drop updates."""
+        config = replace(FAST_CONFIG, batch_update_size=100)
+        gem = GEM(config)
+        gem.fit(synthetic_records(50, seed=0, center=2.0))
+        base = gem.detector.num_samples
+        stream = synthetic_records(20, seed=7, center=2.0)
+        decisions = gem.observe_stream(stream)
+        buffered = sum(d.buffered for d in decisions)
+        assert buffered > 0
+        # Default flush=True: leftovers are applied at stream end.
+        assert gem.pending_updates == 0
+        assert gem.detector.num_samples == base + buffered
+
+    def test_observe_stream_flush_opt_out(self):
+        config = replace(FAST_CONFIG, batch_update_size=100)
+        gem = GEM(config)
+        gem.fit(synthetic_records(50, seed=0, center=2.0))
+        base = gem.detector.num_samples
+        decisions = gem.observe_stream(synthetic_records(20, seed=7, center=2.0),
+                                       flush=False)
+        buffered = sum(d.buffered for d in decisions)
+        assert buffered > 0
+        assert gem.pending_updates == buffered
+        assert gem.detector.num_samples == base
+
 
 class TestComposedPipelines:
     def test_matrix_embedder_pipeline(self):

@@ -60,6 +60,38 @@ class TestRecordFiles:
         with pytest.raises(ValueError, match=":2:"):
             load_records(path)
 
+    def test_blank_lines_do_not_shift_error_line_numbers(self, tmp_path):
+        # The reported line number is the *file* line, not the record count.
+        path = tmp_path / "stream.jsonl"
+        path.write_text('{"t": 1, "rss": {"a": -50}}\n\n\n{bad\n')
+        with pytest.raises(ValueError, match=":4:"):
+            load_records(path)
+
+    def test_non_mapping_rss_reports_location(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        path.write_text('{"t": 1, "rss": [1, 2]}\n')
+        with pytest.raises(ValueError, match=":1:"):
+            load_records(path)
+
+    def test_invalid_rss_value_reports_location(self, tmp_path):
+        # NaN parses as valid JSON via Python's json but SignalRecord
+        # rejects non-finite RSS; the loader must still point at the line.
+        path = tmp_path / "stream.jsonl"
+        path.write_text('{"t": 1, "rss": {"a": NaN}}\n')
+        with pytest.raises(ValueError, match=":1:"):
+            load_records(path)
+
+    def test_roundtrip_preserves_positions_and_order(self, tmp_path):
+        records = sample_records()
+        path = tmp_path / "stream.jsonl"
+        save_records(records, path)
+        loaded = load_records(path)
+        assert [r.position for r in loaded] == [(2.0, 3.0, 0), None, None]
+        # Round-tripping the loaded stream is byte-stable.
+        path2 = tmp_path / "again.jsonl"
+        save_records(loaded, path2)
+        assert path.read_text() == path2.read_text()
+
 
 class TestLabeledFiles:
     def test_roundtrip_with_meta(self, tmp_path):
@@ -83,6 +115,33 @@ class TestLabeledFiles:
     def test_missing_label_rejected(self, tmp_path):
         path = tmp_path / "test.jsonl"
         path.write_text('{"t": 1, "rss": {"a": -50}}\n')
+        with pytest.raises(ValueError, match=":1:"):
+            load_labeled_records(path)
+
+    def test_roundtrip_preserves_position_and_meta(self, tmp_path):
+        items = [LabeledRecord(sample_records()[0], inside=True,
+                               meta={"session": 2, "note": "walk"})]
+        path = tmp_path / "test.jsonl"
+        save_labeled_records(items, path)
+        loaded = load_labeled_records(path)
+        assert loaded[0].record.position == (2.0, 3.0, 0)
+        assert loaded[0].record.timestamp == 1.0
+        assert loaded[0].meta == {"session": 2, "note": "walk"}
+
+    def test_blank_lines_skipped_in_labeled_stream(self, tmp_path):
+        path = tmp_path / "test.jsonl"
+        path.write_text('\n{"t": 1, "rss": {"a": -50}, "inside": true}\n\n')
+        assert len(load_labeled_records(path)) == 1
+
+    def test_bad_json_reports_file_line_number(self, tmp_path):
+        path = tmp_path / "test.jsonl"
+        path.write_text('{"t": 1, "rss": {"a": -50}, "inside": true}\n\n}{\n')
+        with pytest.raises(ValueError, match=":3:"):
+            load_labeled_records(path)
+
+    def test_non_mapping_rss_reports_location(self, tmp_path):
+        path = tmp_path / "test.jsonl"
+        path.write_text('{"t": 1, "rss": "oops", "inside": false}\n')
         with pytest.raises(ValueError, match=":1:"):
             load_labeled_records(path)
 

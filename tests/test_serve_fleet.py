@@ -1,0 +1,261 @@
+"""Registry + fleet serving: LRU eviction, write-back, telemetry."""
+
+import pytest
+
+from conftest import synthetic_records
+from repro.core import GEM, GEMConfig
+from repro.embedding.bisage import BiSAGEConfig
+from repro.serve import CheckpointError, GeofenceFleet, ModelRegistry, validate_tenant_id
+
+FAST_CONFIG = GEMConfig(bisage=BiSAGEConfig(dim=8, epochs=1, seed=0))
+
+
+def make_gem() -> GEM:
+    return GEM(FAST_CONFIG)
+
+
+def tenant_records(tenant: int, n: int = 25, seed_offset: int = 0):
+    """Per-tenant world: each tenant's records cluster at its own center."""
+    return synthetic_records(n, num_macs=10, seed=tenant + seed_offset,
+                             center=2.0 + tenant)
+
+
+@pytest.fixture
+def registry(tmp_path):
+    return ModelRegistry(tmp_path / "models")
+
+
+class TestTenantIds:
+    @pytest.mark.parametrize("good", ["alice", "home-3", "u_1.2", "A" * 128])
+    def test_valid(self, good):
+        assert validate_tenant_id(good) == good
+
+    @pytest.mark.parametrize("bad", ["", "../escape", "a/b", ".hidden", "-x",
+                                     "A" * 129, "sp ace", None])
+    def test_invalid(self, bad):
+        with pytest.raises(ValueError, match="tenant id"):
+            validate_tenant_id(bad)
+
+
+class TestRegistry:
+    def test_save_load_list_delete(self, registry):
+        gem = make_gem().fit(tenant_records(0))
+        registry.save("home-0", gem, metadata={"area_m2": 50})
+        assert registry.tenants() == ["home-0"]
+        assert "home-0" in registry
+        assert registry.metadata("home-0") == {"area_m2": 50}
+        clone = registry.load("home-0")
+        record = tenant_records(0, n=1, seed_offset=99)[0]
+        assert clone.score(record) == gem.score(record)
+        assert registry.delete("home-0")
+        assert not registry.delete("home-0")
+        assert registry.tenants() == []
+
+    def test_load_missing_tenant(self, registry):
+        with pytest.raises(CheckpointError, match="ghost"):
+            registry.load("ghost")
+
+    def test_overwrite_replaces_model(self, registry):
+        first = make_gem().fit(tenant_records(0))
+        second = make_gem().fit(tenant_records(1))
+        registry.save("t", first)
+        registry.save("t", second)
+        probe = tenant_records(1, n=1, seed_offset=42)[0]
+        assert registry.load("t").score(probe) == second.score(probe)
+        assert len(registry) == 1
+
+    def test_traversal_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.save("../evil", make_gem().fit(tenant_records(0)))
+
+
+class TestFleetServing:
+    def test_requires_positive_capacity(self, registry):
+        with pytest.raises(ValueError, match="capacity"):
+            GeofenceFleet(registry, capacity=0)
+
+    def test_three_tenants_capacity_two_no_drift(self, registry):
+        """Acceptance: LRU budget < tenant count, zero decision drift."""
+        tenants = ["home-0", "home-1", "home-2"]
+        fleet = GeofenceFleet(registry, capacity=2, model_factory=make_gem)
+        references = {}
+        for t, tenant in enumerate(tenants):
+            train = tenant_records(t)
+            fleet.provision(tenant, train)
+            references[tenant] = make_gem().fit(train)
+
+        # Interleaved round-robin stream forces constant eviction churn.
+        for i in range(8):
+            for t, tenant in enumerate(tenants):
+                record = tenant_records(t, n=1, seed_offset=100 + i)[0]
+                expected = references[tenant].observe(record)
+                assert fleet.observe(tenant, record) == expected
+
+        assert len(fleet.resident_tenants) == 2
+        totals = fleet.telemetry.totals()
+        assert totals.observations == 24
+        assert totals.evictions > 0
+        assert totals.loads > 0
+
+    def test_lazy_load_after_restart(self, registry):
+        fleet = GeofenceFleet(registry, capacity=4, model_factory=make_gem)
+        fleet.provision("solo", tenant_records(0))
+        record = tenant_records(0, n=1, seed_offset=7)[0]
+        first = fleet.observe("solo", record)
+        fleet.close()
+
+        # A brand-new fleet over the same registry resumes transparently,
+        # including the effect of the earlier observation (write-back).
+        fleet2 = GeofenceFleet(registry, capacity=4, model_factory=make_gem)
+        assert fleet2.resident_tenants == []
+        next_record = tenant_records(0, n=1, seed_offset=8)[0]
+        reference = make_gem().fit(tenant_records(0))
+        reference.observe(record)
+        assert fleet2.observe("solo", next_record) == reference.observe(next_record)
+        assert fleet2.telemetry.tenant("solo").loads == 1
+
+    def test_dirty_write_back_persists_updates(self, registry):
+        fleet = GeofenceFleet(registry, capacity=1, model_factory=make_gem)
+        fleet.provision("a", tenant_records(0))
+        base_samples = registry.load("a").detector.num_samples
+        # Confident in-premises records trigger self-updates.
+        absorbed = 0
+        for i in range(10):
+            decision = fleet.observe("a", tenant_records(0, n=1, seed_offset=200 + i)[0])
+            absorbed += decision.updated
+        assert absorbed > 0
+        # Touching tenant b evicts a (capacity 1) and must write it back.
+        fleet.provision("b", tenant_records(1))
+        assert fleet.resident_tenants == ["b"]
+        assert not fleet.is_dirty("a")
+        assert registry.load("a").detector.num_samples == base_samples + absorbed
+
+    def test_empty_record_does_not_dirty_model(self, registry):
+        from repro.core import SignalRecord
+        fleet = GeofenceFleet(registry, capacity=2, model_factory=make_gem)
+        fleet.provision("a", tenant_records(0))
+        decision = fleet.observe("a", SignalRecord({}))
+        assert not decision.inside
+        assert not fleet.is_dirty("a")
+        assert fleet.flush() == 0
+
+    def test_flush_writes_dirty_models(self, registry):
+        fleet = GeofenceFleet(registry, capacity=4, model_factory=make_gem)
+        fleet.provision("a", tenant_records(0))
+        fleet.observe("a", tenant_records(0, n=1, seed_offset=5)[0])
+        assert fleet.is_dirty("a")
+        assert fleet.flush() == 1
+        assert not fleet.is_dirty("a")
+        assert fleet.flush() == 0
+
+    def test_observe_many_preserves_order_and_groups(self, registry):
+        tenants = ["t0", "t1", "t2"]
+        fleet = GeofenceFleet(registry, capacity=2, model_factory=make_gem)
+        references = {}
+        for t, tenant in enumerate(tenants):
+            train = tenant_records(t)
+            fleet.provision(tenant, train)
+            references[tenant] = make_gem().fit(train)
+
+        items, expected = [], []
+        for i in range(6):
+            t = [0, 1, 2, 0, 2, 1][i]
+            record = tenant_records(t, n=1, seed_offset=300 + i)[0]
+            items.append((tenants[t], record))
+        # References observe in the same per-tenant order the fleet will.
+        for tenant, record in items:
+            expected.append(references[tenant].observe(record))
+        assert fleet.observe_many(items) == expected
+        # Grouped dispatch: at most one load per tenant for the batch.
+        assert fleet.telemetry.totals().loads <= len(tenants)
+
+    def test_observe_many_rejects_bad_batch_untouched(self, registry):
+        # An unknown tenant anywhere in the batch must fail before any
+        # model is mutated, so the batch can be retried safely.
+        fleet = GeofenceFleet(registry, capacity=2, model_factory=make_gem)
+        fleet.provision("good", tenant_records(0))
+        items = [("good", tenant_records(0, n=1, seed_offset=1)[0]),
+                 ("ghost", tenant_records(1, n=1, seed_offset=2)[0])]
+        with pytest.raises(CheckpointError, match="ghost"):
+            fleet.observe_many(items)
+        assert fleet.telemetry.totals().observations == 0
+        assert not fleet.is_dirty("good")
+
+    def test_failed_write_back_keeps_model_resident_and_dirty(self, registry, monkeypatch):
+        # A transient save failure during eviction must not lose the
+        # tenant's in-memory state or leak a stale dirty flag.
+        fleet = GeofenceFleet(registry, capacity=1, model_factory=make_gem)
+        fleet.provision("a", tenant_records(0))
+        fleet.observe("a", tenant_records(0, n=1, seed_offset=2)[0])
+        assert fleet.is_dirty("a")
+        model = fleet._cache["a"]
+
+        def boom(*args, **kwargs):
+            raise OSError("disk full")
+        monkeypatch.setattr(fleet.registry, "save", boom)
+        with pytest.raises(OSError):
+            fleet.evict("a")
+        # Still resident, still dirty — nothing was lost.
+        assert fleet.resident_tenants == ["a"]
+        assert fleet.is_dirty("a")
+        assert fleet._cache["a"] is model
+        monkeypatch.undo()
+        assert fleet.flush() == 1
+        assert not fleet.is_dirty("a")
+
+    def test_metadata_cache_evicted_with_model(self, registry):
+        # The metadata cache must not outlive the model (unbounded growth).
+        fleet = GeofenceFleet(registry, capacity=1, model_factory=make_gem)
+        fleet.provision("a", tenant_records(0), metadata={"k": 1})
+        fleet.provision("b", tenant_records(1))   # evicts a
+        assert "a" not in fleet._metadata
+        assert len(fleet._metadata) <= fleet.capacity
+        # ...and is repopulated from disk on reload.
+        fleet.observe("a", tenant_records(0, n=1, seed_offset=4)[0])
+        fleet.evict("a")
+        assert registry.metadata("a") == {"k": 1}
+
+    def test_metadata_preserved_across_write_back(self, registry):
+        fleet = GeofenceFleet(registry, capacity=1, model_factory=make_gem)
+        fleet.provision("a", tenant_records(0), metadata={"home": "apt"})
+        fleet.observe("a", tenant_records(0, n=1, seed_offset=3)[0])
+        fleet.evict("a")
+        assert registry.metadata("a") == {"home": "apt"}
+
+    def test_context_manager_closes(self, registry):
+        with GeofenceFleet(registry, capacity=2, model_factory=make_gem) as fleet:
+            fleet.provision("a", tenant_records(0))
+            fleet.observe("a", tenant_records(0, n=1, seed_offset=1)[0])
+        assert fleet.resident_tenants == []
+
+    def test_unknown_tenant_raises(self, registry):
+        fleet = GeofenceFleet(registry, capacity=2, model_factory=make_gem)
+        with pytest.raises(CheckpointError):
+            fleet.observe("nobody", tenant_records(0, n=1)[0])
+
+
+class TestTelemetry:
+    def test_snapshot_shape(self, registry):
+        fleet = GeofenceFleet(registry, capacity=2, model_factory=make_gem)
+        fleet.provision("a", tenant_records(0))
+        fleet.observe("a", tenant_records(0, n=1, seed_offset=9)[0])
+        snap = fleet.telemetry.snapshot()
+        assert set(snap) == {"tenants", "retired", "totals"}
+        assert snap["tenants"]["a"]["observations"] == 1
+        assert snap["totals"]["observations"] == 1
+        assert snap["totals"]["saves"] >= 1
+        assert snap["tenants"]["a"]["observe_seconds"] > 0
+
+    def test_eviction_retires_counters_without_losing_totals(self, registry):
+        # Per-tenant telemetry is bounded by the resident set; totals
+        # stay exact via the retired aggregate.
+        fleet = GeofenceFleet(registry, capacity=1, model_factory=make_gem)
+        fleet.provision("a", tenant_records(0))
+        fleet.observe("a", tenant_records(0, n=1, seed_offset=1)[0])
+        fleet.provision("b", tenant_records(1))   # evicts + retires a
+        snap = fleet.telemetry.snapshot()
+        assert "a" not in snap["tenants"]
+        assert snap["retired"]["observations"] == 1
+        assert snap["retired"]["evictions"] == 1
+        assert snap["totals"]["observations"] == 1
+        assert fleet.telemetry.totals().evictions == 1
