@@ -16,7 +16,7 @@ import os
 from pathlib import Path
 
 from repro.datasets import generate_dataset, user_dataset
-from repro.eval import evaluate_streaming, make_algorithm
+from repro.eval import arm_accepts, evaluate_streaming, make_algorithm
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -36,6 +36,18 @@ def write_result(name: str, text: str) -> None:
     print(text)
 
 
+def write_json_result(name: str, payload) -> None:
+    """Persist one benchmark's machine-readable result as JSON.
+
+    Human tables (``write_result``) are for eyeballs; dashboards and
+    regression tooling read ``benchmarks/results/<name>.json``.
+    """
+    import json
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+
+
 @functools.lru_cache(maxsize=None)
 def cached_user_dataset(user_id: int):
     """User dataset with the bench-scale stream (cached across benches)."""
@@ -44,6 +56,10 @@ def cached_user_dataset(user_id: int):
 
 
 def run_arm(name: str, dataset, seed: int = 0):
-    """Fit + stream one algorithm arm; returns the EvaluationResult."""
-    model = make_algorithm(name, seed=seed)
+    """Fit + stream one algorithm arm; returns the EvaluationResult.
+
+    Seed-less arms (SignatureHome, INOA, ...) get the default seed so a
+    per-user sweep does not trip the inapplicable-parameter warning.
+    """
+    model = make_algorithm(name, seed=seed if arm_accepts(name, "seed") else 0)
     return evaluate_streaming(model, dataset)

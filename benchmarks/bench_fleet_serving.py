@@ -5,20 +5,28 @@ ROADMAP's production north-star rests on.  Reported shapes to watch:
 
 * throughput (records/s) with every tenant resident vs. an LRU budget
   of half the tenants (eviction churn pays a load+save per miss);
+* the same comparison for a **mixed-arm** fleet (GEM next to
+  BiSAGE+LOF next to GEM(no-BiSAGE)), so the cost of the registry
+  indirection and heterogeneous checkpoints is measured, not assumed;
 * checkpoint save/load latency, which bounds how fast a cold tenant
   can come online and how expensive write-back eviction is.
+
+Each table also lands as machine-readable JSON under
+``benchmarks/results/*.json`` for regression tooling.
 """
 
 import time
+import warnings
 
 import numpy as np
 
-from bench_common import FULL, write_result
+from bench_common import FULL, write_json_result, write_result
 
 from repro.core.config import GEMConfig
 from repro.core.gem import GEM
 from repro.core.records import SignalRecord
 from repro.embedding.bisage import BiSAGEConfig
+from repro.eval.algorithms import arm_spec
 from repro.eval.reporting import format_table
 from repro.serve import GeofenceFleet, ModelRegistry, load_checkpoint, save_checkpoint
 
@@ -26,6 +34,8 @@ TENANT_COUNTS = [4, 8, 16] if FULL else [3, 6]
 TRAIN_RECORDS = 40
 STREAM_PER_TENANT = 40 if FULL else 25
 SERVE_CONFIG = GEMConfig(bisage=BiSAGEConfig(dim=16, epochs=2, seed=0))
+# Mixed-arm fleet: tenants cycle through these paper arms.
+MIXED_ARMS = ("GEM", "BiSAGE+LOF", "GEM(no-BiSAGE)")
 
 
 def tenant_world(tenant: int, n: int, seed_offset: int = 0) -> list[SignalRecord]:
@@ -48,11 +58,20 @@ def make_model() -> GEM:
     return GEM(SERVE_CONFIG)
 
 
-def provision_fleet(root, num_tenants: int, capacity: int) -> GeofenceFleet:
+def mixed_spec(tenant: int):
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", UserWarning)
+        return arm_spec(MIXED_ARMS[tenant % len(MIXED_ARMS)], seed=0, dim=16,
+                        gem_config=SERVE_CONFIG, strict=False)
+
+
+def provision_fleet(root, num_tenants: int, capacity: int,
+                    mixed: bool = False) -> GeofenceFleet:
     fleet = GeofenceFleet(ModelRegistry(root), capacity=capacity,
                           model_factory=make_model)
     for t in range(num_tenants):
-        fleet.provision(f"tenant-{t:03d}", tenant_world(t, TRAIN_RECORDS))
+        fleet.provision(f"tenant-{t:03d}", tenant_world(t, TRAIN_RECORDS),
+                        spec=mixed_spec(t) if mixed else None)
     return fleet
 
 
@@ -65,13 +84,14 @@ def interleaved_stream(num_tenants: int):
     return items
 
 
-def run_throughput(tmp_root):
+def run_throughput(tmp_root, mixed: bool = False):
     rows = []
+    flavor = "mixed" if mixed else "gem"
     for num_tenants in TENANT_COUNTS:
         for label, capacity in (("all resident", num_tenants),
                                 ("half resident", max(1, num_tenants // 2))):
-            fleet = provision_fleet(tmp_root / f"{num_tenants}-{capacity}",
-                                    num_tenants, capacity)
+            fleet = provision_fleet(tmp_root / f"{flavor}-{num_tenants}-{capacity}",
+                                    num_tenants, capacity, mixed=mixed)
             items = interleaved_stream(num_tenants)
             start = time.perf_counter()
             fleet.observe_many(items)
@@ -97,14 +117,21 @@ def run_checkpoint_latency(tmp_root, rounds: int = 5):
     return float(np.median(save_ms)), float(np.median(load_ms))
 
 
-def test_fleet_throughput(benchmark, tmp_path):
-    rows = benchmark.pedantic(run_throughput, args=(tmp_path,), rounds=1, iterations=1)
+def emit_throughput(name: str, title: str, rows) -> None:
     table = [[str(t), str(c), label, f"{rps:.0f}", str(loads), str(evictions)]
              for t, c, label, rps, loads, evictions in rows]
-    write_result("fleet_throughput",
+    write_result(name,
                  format_table(["tenants", "capacity", "mode", "records/s",
                                "loads", "evictions"],
-                              table, title="Fleet serving throughput"))
+                              table, title=title))
+    write_json_result(name, [
+        {"tenants": t, "capacity": c, "mode": label, "records_per_s": rps,
+         "loads": loads, "evictions": evictions}
+        for t, c, label, rps, loads, evictions in rows
+    ])
+
+
+def check_throughput(rows) -> None:
     # Churn must cost throughput but never correctness; resident serving
     # must not page models at all.
     by_mode = {(t, label): rps for t, _, label, rps, _, _ in rows}
@@ -115,6 +142,21 @@ def test_fleet_throughput(benchmark, tmp_path):
     assert all(loads == 0 for loads in resident_loads)
 
 
+def test_fleet_throughput(benchmark, tmp_path):
+    rows = benchmark.pedantic(run_throughput, args=(tmp_path,), rounds=1, iterations=1)
+    emit_throughput("fleet_throughput", "Fleet serving throughput (all GEM)", rows)
+    check_throughput(rows)
+
+
+def test_fleet_throughput_mixed_arms(benchmark, tmp_path):
+    rows = benchmark.pedantic(run_throughput, args=(tmp_path,),
+                              kwargs={"mixed": True}, rounds=1, iterations=1)
+    emit_throughput("fleet_throughput_mixed",
+                    f"Fleet serving throughput (mixed arms: {', '.join(MIXED_ARMS)})",
+                    rows)
+    check_throughput(rows)
+
+
 def test_checkpoint_latency(benchmark, tmp_path):
     save_ms, load_ms = benchmark.pedantic(run_checkpoint_latency, args=(tmp_path,),
                                           rounds=1, iterations=1)
@@ -122,4 +164,6 @@ def test_checkpoint_latency(benchmark, tmp_path):
                  format_table(["operation", "median ms"],
                               [["save", f"{save_ms:.1f}"], ["load", f"{load_ms:.1f}"]],
                               title="Checkpoint save/load latency"))
+    write_json_result("fleet_checkpoint_latency",
+                      {"save_median_ms": save_ms, "load_median_ms": load_ms})
     assert save_ms > 0 and load_ms > 0

@@ -27,12 +27,14 @@ from repro.core import (
 )
 from repro.detection import HistogramConfig, HistogramDetector
 from repro.embedding import BiSAGE, BiSAGEConfig
+from repro.pipeline import ComponentSpec, PipelineSpec, build_pipeline
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BiSAGE",
     "BiSAGEConfig",
+    "ComponentSpec",
     "EmbeddingGeofencer",
     "GEM",
     "GEMConfig",
@@ -40,6 +42,8 @@ __all__ = [
     "HistogramConfig",
     "HistogramDetector",
     "LabeledRecord",
+    "PipelineSpec",
     "SignalRecord",
+    "build_pipeline",
     "__version__",
 ]

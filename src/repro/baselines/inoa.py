@@ -40,6 +40,14 @@ class _PairLearner:
     def is_outlier(self, point: np.ndarray) -> bool:
         return bool(np.linalg.norm(point - self.center) > self.radius)
 
+    @classmethod
+    def from_state(cls, center: np.ndarray, radius: float) -> "_PairLearner":
+        """Rebuild a learner from checkpointed (center, radius)."""
+        learner = cls.__new__(cls)
+        learner.center = np.asarray(center, dtype=np.float64)
+        learner.radius = float(radius)
+        return learner
+
 
 class INOA:
     """Ensemble of per-AP-pair hypersphere learners."""
@@ -120,3 +128,48 @@ class INOA:
         """Streaming interface; INOA has no online update."""
         score = self.outlier_score(record)
         return GeofenceDecision(inside=score <= self.threshold, score=score)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Checkpointable state: hyper-parameters + every pair hypersphere.
+
+        Learners are stored as parallel (pairs, centers, radii) in a
+        deterministic sort order; scoring is a deterministic function of
+        them, so a restored model scores bit-for-bit identically.
+        """
+        if not self._fitted:
+            raise RuntimeError("cannot checkpoint an unfitted INOA; call fit first")
+        pairs = sorted(self._learners)
+        centers = (np.vstack([self._learners[pair].center for pair in pairs])
+                   if pairs else np.empty((0, 2), dtype=np.float64))
+        radii = np.asarray([self._learners[pair].radius for pair in pairs], dtype=np.float64)
+        return {
+            "threshold": float(self.threshold),
+            "radius_quantile": self.radius_quantile,
+            "min_support": self.min_support,
+            "unseen_pair_vote": self.unseen_pair_vote,
+            "calibration_quantile": self.calibration_quantile,
+            "pairs": [[a, b] for a, b in pairs],
+            "centers": centers,
+            "radii": radii,
+        }
+
+    def load_state_dict(self, state: dict) -> "INOA":
+        """Restore a model saved by :meth:`state_dict`."""
+        pairs = [(str(a), str(b)) for a, b in state["pairs"]]
+        centers = np.asarray(state["centers"], dtype=np.float64).reshape(len(pairs), 2)
+        radii = np.asarray(state["radii"], dtype=np.float64)
+        if len(radii) != len(pairs):
+            raise ValueError(f"INOA state has {len(pairs)} pairs but {len(radii)} radii")
+        check_probability(float(state["threshold"]), "threshold")
+        self.threshold = float(state["threshold"])
+        self.radius_quantile = float(state["radius_quantile"])
+        self.min_support = int(state["min_support"])
+        self.unseen_pair_vote = float(state["unseen_pair_vote"])
+        self.calibration_quantile = float(state["calibration_quantile"])
+        self._learners = {pair: _PairLearner.from_state(center, radius)
+                          for pair, center, radius in zip(pairs, centers, radii)}
+        self._fitted = True
+        return self

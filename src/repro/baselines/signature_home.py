@@ -95,3 +95,35 @@ class SignatureHome:
         # Report an outlier-style score (higher = more outlying) for parity
         # with the other pipelines.
         return GeofenceDecision(inside=score >= self.threshold, score=1.0 - score)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Checkpointable state: weights, thresholds and both MAC sets."""
+        if not self._fitted:
+            raise RuntimeError("cannot checkpoint an unfitted SignatureHome; call fit first")
+        return {
+            "association_weight": self.association_weight,
+            "overlap_weight": self.overlap_weight,
+            "threshold": self.threshold,
+            "association_rssi_floor": self.association_rssi_floor,
+            "signature": sorted(self.signature),
+            "association_set": sorted(self.association_set),
+        }
+
+    def load_state_dict(self, state: dict) -> "SignatureHome":
+        """Restore a model saved by :meth:`state_dict`."""
+        signature = {str(mac) for mac in state["signature"]}
+        association_set = {str(mac) for mac in state["association_set"]}
+        if not association_set <= signature:
+            raise ValueError("association_set contains MACs outside the signature")
+        check_probability(float(state["threshold"]), "threshold")
+        self.association_weight = float(state["association_weight"])
+        self.overlap_weight = float(state["overlap_weight"])
+        self.threshold = float(state["threshold"])
+        self.association_rssi_floor = float(state["association_rssi_floor"])
+        self.signature = signature
+        self.association_set = association_set
+        self._fitted = True
+        return self

@@ -1,0 +1,269 @@
+"""``python -m repro`` — spec-driven train / eval / serve entry point.
+
+The CLI is a thin shell over the declarative pipeline API: every
+subcommand consumes or produces :class:`~repro.pipeline.spec.PipelineSpec`
+JSON, so anything scriptable here is also scriptable as a library call.
+
+Subcommands
+-----------
+``components``
+    List every registered embedder / detector / model.
+``spec``
+    Emit the spec JSON of a named paper arm (a starting point to edit).
+``train``
+    Build a pipeline from a spec file (or arm name), fit it on a JSONL
+    record stream or a synthetic user world, and save a checkpoint.
+``eval``
+    Run paper arms through the streaming evaluation harness on a
+    synthetic user world; print (and optionally dump as JSON) metrics.
+``serve``
+    Replay a JSONL event stream through a multi-tenant fleet rooted at
+    a checkpoint registry; print one decision JSON per line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Spec-driven geofencing pipelines: train, evaluate, serve.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("components", help="list registered pipeline components")
+
+    p = sub.add_parser("spec", help="print the PipelineSpec JSON of a paper arm")
+    p.add_argument("--arm", required=True, help="paper arm name (see `eval --list`)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--dim", type=int, default=32)
+    p.add_argument("-o", "--out", help="write to this file instead of stdout")
+
+    p = sub.add_parser("train", help="fit a spec'd pipeline and checkpoint it")
+    source = p.add_mutually_exclusive_group(required=True)
+    source.add_argument("--spec", help="PipelineSpec JSON file")
+    source.add_argument("--arm", help="paper arm name instead of a spec file")
+    data = p.add_mutually_exclusive_group(required=True)
+    data.add_argument("--records", help="JSONL training records (repro.core.io format)")
+    data.add_argument("--user", type=int, help="synthetic Table-II user world id")
+    p.add_argument("--out", help="checkpoint directory to write")
+    p.add_argument("--registry", help="tenant registry root (needs --tenant)")
+    p.add_argument("--tenant", help="tenant id inside --registry")
+    p.add_argument("--seed", type=int, default=0, help="arm seed (with --arm)")
+    p.add_argument("--dim", type=int, default=32, help="arm dimension (with --arm)")
+    p.add_argument("--quick", action="store_true",
+                   help="small synthetic world + fast hyper-parameters")
+
+    p = sub.add_parser("eval", help="evaluate paper arms on a synthetic user world")
+    p.add_argument("--arms", default="GEM",
+                   help="comma-separated arm names, or 'all'")
+    p.add_argument("--list", action="store_true", help="list arm names and exit")
+    p.add_argument("--user", type=int, default=3, help="synthetic user world id")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--dim", type=int, default=32)
+    p.add_argument("--quick", action="store_true",
+                   help="small synthetic world + fast hyper-parameters")
+    p.add_argument("--json", dest="json_out", help="also write metrics to this JSON file")
+
+    p = sub.add_parser("serve", help="replay a JSONL event stream through a fleet")
+    p.add_argument("--registry", required=True, help="tenant registry root")
+    p.add_argument("--events", required=True,
+                   help='JSONL events: {"tenant": ..., "rss": {...}, "t": ...}')
+    p.add_argument("--capacity", type=int, default=8)
+    p.add_argument("-o", "--out", help="write decisions to this file instead of stdout")
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def _quick_gem_config():
+    from repro.core.config import GEMConfig
+    from repro.embedding.bisage import BiSAGEConfig
+    return GEMConfig(bisage=BiSAGEConfig(dim=16, epochs=2))
+
+
+def _arm_dim(name: str, dim: int, quick: bool) -> int:
+    from repro.eval.algorithms import arm_accepts
+    if quick and dim == 32 and arm_accepts(name, "dim"):
+        return 16
+    return dim
+
+
+def _load_spec(args):
+    from repro.eval.algorithms import arm_spec
+    from repro.pipeline import PipelineSpec
+    if args.spec:
+        return PipelineSpec.from_json(Path(args.spec).read_text())
+    gem_config = _quick_gem_config() if args.quick else None
+    return arm_spec(args.arm, seed=args.seed,
+                    dim=_arm_dim(args.arm, args.dim, args.quick),
+                    gem_config=gem_config, strict=False)
+
+
+def _training_records(args):
+    from repro.core.io import load_records
+    if args.records:
+        return load_records(args.records)
+    dataset = _user_dataset(args.user, quick=args.quick)
+    return dataset.train
+
+
+def _user_dataset(user_id: int, quick: bool):
+    from repro.datasets import user_dataset
+    if quick:
+        return user_dataset(user_id, train_duration_s=120.0, test_sessions=3,
+                            session_duration_s=40.0)
+    return user_dataset(user_id)
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def _cmd_components(args) -> int:
+    from repro.eval.reporting import format_table
+    from repro.pipeline import known_components
+    rows = [[e.kind, e.name, "yes" if e.supports_update else "no",
+             "yes" if e.supports_state_dict else "no", e.description]
+            for e in known_components()]
+    print(format_table(["kind", "name", "update", "state_dict", "description"],
+                       rows, title="Registered pipeline components"))
+    return 0
+
+
+def _cmd_spec(args) -> int:
+    from repro.eval.algorithms import arm_spec
+    text = arm_spec(args.arm, seed=args.seed, dim=args.dim, strict=False).to_json()
+    if args.out:
+        Path(args.out).write_text(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_train(args) -> int:
+    from repro.pipeline import build_pipeline
+    from repro.serve import ModelRegistry, save_checkpoint
+    if bool(args.registry) != bool(args.tenant):
+        print("error: --registry and --tenant go together", file=sys.stderr)
+        return 2
+    if not args.out and not args.registry:
+        print("error: pass --out DIR or --registry DIR --tenant ID", file=sys.stderr)
+        return 2
+    spec = _load_spec(args)
+    records = _training_records(args)
+    pipeline = build_pipeline(spec)
+    pipeline.fit(records)
+    print(f"fitted {spec.describe()} on {len(records)} records")
+    if args.out:
+        path = save_checkpoint(pipeline, args.out)
+        print(f"checkpoint written to {path}")
+    if args.registry:
+        ModelRegistry(args.registry).save(args.tenant, pipeline)
+        print(f"tenant {args.tenant!r} saved under {args.registry}")
+    return 0
+
+
+def _cmd_eval(args) -> int:
+    from repro.eval import ALGORITHM_NAMES, evaluate_streaming, make_algorithm
+    from repro.eval.reporting import format_table
+    if args.list:
+        print("\n".join(ALGORITHM_NAMES))
+        return 0
+    names = list(ALGORITHM_NAMES) if args.arms.strip().lower() == "all" \
+        else [a.strip() for a in args.arms.split(",") if a.strip()]
+    unknown = [n for n in names if n not in ALGORITHM_NAMES]
+    if unknown:
+        print(f"error: unknown arm(s) {unknown}; known: {', '.join(ALGORITHM_NAMES)}",
+              file=sys.stderr)
+        return 2
+    gem_config = _quick_gem_config() if args.quick else None
+    dataset = _user_dataset(args.user, quick=args.quick)
+    rows, payload = [], {}
+    for name in names:
+        model = make_algorithm(name, seed=args.seed,
+                               dim=_arm_dim(name, args.dim, args.quick),
+                               gem_config=gem_config)
+        result = evaluate_streaming(model, dataset)
+        m = result.metrics
+        rows.append([name, f"{m.f_in:.3f}", f"{m.f_out:.3f}",
+                     f"{result.fit_seconds:.2f}", f"{result.stream_seconds:.2f}"])
+        payload[name] = {"p_in": m.p_in, "r_in": m.r_in, "f_in": m.f_in,
+                         "p_out": m.p_out, "r_out": m.r_out, "f_out": m.f_out,
+                         "fit_seconds": result.fit_seconds,
+                         "stream_seconds": result.stream_seconds}
+    print(format_table(["arm", "F(in)", "F(out)", "fit s", "stream s"],
+                       rows, title=f"user-{args.user} streaming evaluation"))
+    if args.json_out:
+        Path(args.json_out).write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+        print(f"metrics written to {args.json_out}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.core.io import record_from_dict
+    from repro.serve import GeofenceFleet
+    events_path = Path(args.events)
+    if not events_path.is_file():
+        print(f"error: no such events file: {events_path}", file=sys.stderr)
+        return 2
+    out_handle = open(args.out, "w") if args.out else sys.stdout
+    served = 0
+    try:
+        with GeofenceFleet(args.registry, capacity=args.capacity) as fleet:
+            with events_path.open() as handle:
+                for line_number, line in enumerate(handle, start=1):
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        event = json.loads(line)
+                        tenant = str(event["tenant"])
+                        record = record_from_dict(event)
+                    except (json.JSONDecodeError, KeyError, TypeError, ValueError) as error:
+                        print(f"error: {events_path}:{line_number}: bad event: {error}",
+                              file=sys.stderr)
+                        return 2
+                    decision = fleet.observe(tenant, record)
+                    out_handle.write(json.dumps({
+                        "tenant": tenant,
+                        "inside": decision.inside,
+                        # +inf means "could not be embedded"; JSON has no inf.
+                        "score": decision.score if math.isfinite(decision.score) else None,
+                        "confident": decision.confident,
+                    }) + "\n")
+                    served += 1
+        print(f"served {served} events from {events_path}", file=sys.stderr)
+    finally:
+        if args.out:
+            out_handle.close()
+    return 0
+
+
+_COMMANDS = {
+    "components": _cmd_components,
+    "spec": _cmd_spec,
+    "train": _cmd_train,
+    "eval": _cmd_eval,
+    "serve": _cmd_serve,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    from repro.serve import CheckpointError
+    try:
+        return _COMMANDS[args.command](args)
+    except (CheckpointError, OSError, ValueError) as error:
+        # Expected operator mistakes (unknown arm, missing file, torn or
+        # absent checkpoint, bad spec JSON): one line, no traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2

@@ -34,6 +34,10 @@ __all__ = [
 class _GraphEmbedderBase:
     """Shared graph-owning behaviour for BiSAGE/GraphSAGE adapters."""
 
+    # The trainable model class bound to the graph; subclasses set it so
+    # the shared persistence path can rebuild the right model on load.
+    _model_class: type | None = None
+
     def __init__(self, weight_offset: float = 120.0, refresh_every: int = 0):
         if refresh_every < 0:
             raise ValueError("refresh_every must be >= 0")
@@ -89,20 +93,9 @@ class _GraphEmbedderBase:
         if self.model is None or self.graph is None:
             raise RuntimeError(f"{type(self).__name__} has not been fitted; call fit first")
 
-
-class BiSAGEEmbedder(_GraphEmbedderBase):
-    """The paper's embedder: weighted bipartite graph + BiSAGE."""
-
-    def __init__(self, config: BiSAGEConfig = BiSAGEConfig(),
-                 weight_offset: float = 120.0, refresh_every: int = 0):
-        super().__init__(weight_offset, refresh_every)
-        self.config = config
-
-    def fit(self, records: Sequence[SignalRecord]) -> "BiSAGEEmbedder":
-        graph = self._fit_graph(records)
-        self.model = BiSAGE(self.config).fit(graph)
-        return self
-
+    # ------------------------------------------------------------------
+    # Persistence (shared by every graph-based adapter)
+    # ------------------------------------------------------------------
     def state_dict(self) -> dict:
         """Checkpointable state: graph + model + streaming bookkeeping."""
         self._require_fitted()
@@ -115,7 +108,7 @@ class BiSAGEEmbedder(_GraphEmbedderBase):
             "model": self.model.state_dict(),
         }
 
-    def load_state_dict(self, state: dict) -> "BiSAGEEmbedder":
+    def load_state_dict(self, state: dict):
         """Restore an embedder saved by :meth:`state_dict`."""
         self.weight_offset = float(state["weight_offset"])
         self.refresh_every = int(state["refresh_every"])
@@ -125,12 +118,30 @@ class BiSAGEEmbedder(_GraphEmbedderBase):
         if self._num_training_records > self.graph.num_records:
             raise ValueError(f"state claims {self._num_training_records} training records "
                              f"but graph has only {self.graph.num_records}")
-        self.model = BiSAGE(self.config).load_state_dict(state["model"], self.graph)
+        self.model = self._model_class(self.config).load_state_dict(state["model"], self.graph)
+        return self
+
+
+class BiSAGEEmbedder(_GraphEmbedderBase):
+    """The paper's embedder: weighted bipartite graph + BiSAGE."""
+
+    _model_class = BiSAGE
+
+    def __init__(self, config: BiSAGEConfig = BiSAGEConfig(),
+                 weight_offset: float = 120.0, refresh_every: int = 0):
+        super().__init__(weight_offset, refresh_every)
+        self.config = config
+
+    def fit(self, records: Sequence[SignalRecord]) -> "BiSAGEEmbedder":
+        graph = self._fit_graph(records)
+        self.model = BiSAGE(self.config).fit(graph)
         return self
 
 
 class GraphSAGEEmbedder(_GraphEmbedderBase):
     """Homogeneous GraphSAGE on the same bipartite graph (Table I row)."""
+
+    _model_class = GraphSAGE
 
     def __init__(self, config: GraphSAGEConfig = GraphSAGEConfig(),
                  weight_offset: float = 120.0, refresh_every: int = 0):
@@ -170,6 +181,28 @@ class _MatrixEmbedderBase:
             raise RuntimeError(f"{type(self).__name__} has not been fitted; call fit first")
         return self._training
 
+    # ------------------------------------------------------------------
+    # Persistence (shared plumbing; subclasses add their model state)
+    # ------------------------------------------------------------------
+    def _base_state(self) -> dict:
+        if self.view is None or self._training is None:
+            raise RuntimeError(f"cannot checkpoint an unfitted {type(self).__name__}; call fit first")
+        return {
+            "fill_value": self.fill_value,
+            "scale": self.scale,
+            "view": self.view.state_dict(),
+            "training": self._training.copy(),
+        }
+
+    def _load_base(self, state: dict) -> None:
+        self.fill_value = float(state["fill_value"])
+        self.scale = bool(state["scale"])
+        self.view = MatrixView.from_state_dict(state["view"])
+        training = np.asarray(state["training"], dtype=np.float64)
+        if training.ndim != 2:
+            raise ValueError(f"training embeddings must be 2-D, got shape {training.shape}")
+        self._training = training
+
 
 class AutoencoderEmbedder(_MatrixEmbedderBase):
     """1-D conv autoencoder over the imputed matrix (Table I row)."""
@@ -192,6 +225,24 @@ class AutoencoderEmbedder(_MatrixEmbedderBase):
             return None
         return self.model.embed(vector[None, :])[0]
 
+    def state_dict(self) -> dict:
+        """Checkpointable state: imputation view + trained autoencoder."""
+        state = self._base_state()
+        state["config"] = self.config.to_dict()
+        state["model"] = self.model.state_dict()
+        return state
+
+    def load_state_dict(self, state: dict) -> "AutoencoderEmbedder":
+        """Restore an embedder saved by :meth:`state_dict`."""
+        saved_cfg = AutoencoderConfig.from_dict(state["config"])
+        if saved_cfg != self.config:
+            raise ValueError("checkpoint config does not match this embedder's config; "
+                             f"saved {saved_cfg}, constructed with {self.config}")
+        model = ConvAutoencoder.from_state_dict(state["model"])
+        self._load_base(state)
+        self.model = model
+        return self
+
 
 class MDSEmbedder(_MatrixEmbedderBase):
     """Classical MDS on 1-cosine distances of imputed vectors (Table I row)."""
@@ -213,6 +264,23 @@ class MDSEmbedder(_MatrixEmbedderBase):
             return None
         return self.model.transform(vector[None, :])[0]
 
+    def state_dict(self) -> dict:
+        """Checkpointable state: imputation view + fitted MDS decomposition."""
+        state = self._base_state()
+        state["dim"] = self.dim
+        state["model"] = self.model.state_dict()
+        return state
+
+    def load_state_dict(self, state: dict) -> "MDSEmbedder":
+        """Restore an embedder saved by :meth:`state_dict`."""
+        if int(state["dim"]) != self.dim:
+            raise ValueError(f"checkpoint dim {state['dim']} does not match "
+                             f"this embedder's dim {self.dim}")
+        model = ClassicalMDS(dim=self.dim).load_state_dict(state["model"])
+        self._load_base(state)
+        self.model = model
+        return self
+
 
 class ImputedMatrixEmbedder(_MatrixEmbedderBase):
     """Identity 'embedding': the imputed vector itself.
@@ -230,3 +298,12 @@ class ImputedMatrixEmbedder(_MatrixEmbedderBase):
 
     def embed(self, record: SignalRecord, attach: bool = True) -> np.ndarray | None:
         return self._vector(record)
+
+    def state_dict(self) -> dict:
+        """Checkpointable state: the imputation view is the whole model."""
+        return self._base_state()
+
+    def load_state_dict(self, state: dict) -> "ImputedMatrixEmbedder":
+        """Restore an embedder saved by :meth:`state_dict`."""
+        self._load_base(state)
+        return self

@@ -9,6 +9,7 @@ online self-update — exposed with the paper's tuned defaults.
 
 from __future__ import annotations
 
+import copy
 import math
 from typing import Iterable, Sequence
 
@@ -53,6 +54,9 @@ class EmbeddingGeofencer:
         self.batch_update_size = batch_update_size
         self._update_buffer: list[np.ndarray] = []
         self._fitted = False
+        # Declarative provenance: build_pipeline() stamps the PipelineSpec
+        # the pipeline was built from so checkpoints can embed it.
+        self.spec = None
 
     # ------------------------------------------------------------------
     # Initial training (Sec. III)
@@ -168,19 +172,26 @@ class EmbeddingGeofencer:
     def load_state_dict(self, state: dict) -> "EmbeddingGeofencer":
         """Restore pipeline state saved by :meth:`state_dict` in place.
 
-        Restores *into the existing* embedder/detector instances, so a
-        mid-load failure (bad detector payload after a good embedder
-        load) can leave the pipeline partially restored.  :class:`GEM`
-        overrides this with an all-or-nothing restore; prefer that (or a
-        fresh instance via ``from_state_dict``) when loading untrusted
-        checkpoints into a live model.
+        All-or-nothing: the state is restored into fresh copies of the
+        embedder and detector and only swapped in once every piece
+        loaded, so a mid-load failure (bad detector payload after a good
+        embedder load) leaves the live pipeline completely untouched.
         """
+        for part in (self.embedder, self.detector):
+            if not hasattr(part, "load_state_dict"):
+                raise TypeError(f"{type(part).__name__} does not support checkpointing "
+                                "(no load_state_dict method)")
+        embedder = copy.deepcopy(self.embedder)
+        embedder.load_state_dict(state["embedder"])
+        detector = copy.deepcopy(self.detector)
+        detector.load_state_dict(state["detector"])
+        buffer = np.asarray(state["update_buffer"], dtype=np.float64)
+        # Commit point: nothing above mutated self.
+        self.embedder = embedder
+        self.detector = detector
         self.self_update = bool(state["self_update"])
         self.batch_update_size = int(state["batch_update_size"])
-        buffer = np.asarray(state["update_buffer"], dtype=np.float64)
         self._update_buffer = [row for row in buffer] if buffer.size else []
-        self.embedder.load_state_dict(state["embedder"])
-        self.detector.load_state_dict(state["detector"])
         self._fitted = True
         return self
 

@@ -66,6 +66,52 @@ class FeatureBagging:
     def is_outlier(self, x: np.ndarray) -> np.ndarray:
         return self.decision_scores(x) > self.threshold_
 
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Checkpointable state: hyper-parameters + per-member (features, LOF).
+
+        The ensemble RNG is not saved — it only seeds a future ``fit``;
+        scoring is deterministic in the stored members.
+        """
+        self._require_fitted()
+        return {
+            "n_estimators": self.n_estimators,
+            "n_neighbors": self.n_neighbors,
+            "contamination": self.contamination,
+            "threshold": float(self.threshold_),
+            "train_scores": self.train_scores_.copy(),
+            "members": {
+                str(i): {"features": np.asarray(features, dtype=np.int64),
+                         "lof": detector.state_dict()}
+                for i, (features, detector) in enumerate(self._members)
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> "FeatureBagging":
+        """Restore an ensemble saved by :meth:`state_dict`."""
+        saved = state["members"]
+        members: list[tuple[np.ndarray, LocalOutlierFactor]] = []
+        for i in range(len(saved)):
+            member = saved[str(i)]
+            features = np.asarray(member["features"], dtype=np.int64)
+            if features.ndim != 1 or features.size == 0:
+                raise ValueError(f"feature-bagging member {i} has a bad feature subset")
+            members.append((features, LocalOutlierFactor().load_state_dict(member["lof"])))
+        if not members:
+            raise ValueError("feature-bagging state holds no members")
+        check_positive_int(int(state["n_estimators"]), "n_estimators")
+        check_positive_int(int(state["n_neighbors"]), "n_neighbors")
+        check_probability(float(state["contamination"]), "contamination")
+        self.n_estimators = int(state["n_estimators"])
+        self.n_neighbors = int(state["n_neighbors"])
+        self.contamination = float(state["contamination"])
+        self._members = members
+        self.threshold_ = float(state["threshold"])
+        self.train_scores_ = np.asarray(state["train_scores"], dtype=np.float64)
+        return self
+
     def _require_fitted(self) -> None:
         if not self._members:
             raise RuntimeError("FeatureBagging has not been fitted; call fit first")

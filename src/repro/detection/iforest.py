@@ -114,6 +114,93 @@ class IsolationForest:
     def is_outlier(self, x: np.ndarray) -> np.ndarray:
         return self.decision_scores(x) > self.threshold_
 
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Checkpointable state: hyper-parameters + flattened trees.
+
+        Every tree is serialised into shared node arrays (feature -1
+        marks a leaf, child index -1 marks "no child"); scoring is a
+        deterministic function of the trees, so a restored forest scores
+        bit-for-bit identically.  The RNG is *not* saved — it only
+        matters for a future ``fit``, never for scoring.
+        """
+        self._require_fitted()
+        feature, value, left, right, size, roots = [], [], [], [], [], []
+
+        def add(node: _Node) -> int:
+            index = len(feature)
+            feature.append(-1 if node.feature is None else int(node.feature))
+            value.append(0.0 if node.value is None else float(node.value))
+            left.append(-1)
+            right.append(-1)
+            size.append(int(node.size))
+            if node.feature is not None:
+                left[index] = add(node.left)
+                right[index] = add(node.right)
+            return index
+
+        for tree in self._trees:
+            roots.append(add(tree))
+        return {
+            "n_trees": self.n_trees,
+            "subsample_size": self.subsample_size,
+            "contamination": self.contamination,
+            "subsample_used": self._subsample_used,
+            "threshold": float(self.threshold_),
+            "train_scores": self.train_scores_.copy(),
+            "node_feature": np.asarray(feature, dtype=np.int64),
+            "node_value": np.asarray(value, dtype=np.float64),
+            "node_left": np.asarray(left, dtype=np.int64),
+            "node_right": np.asarray(right, dtype=np.int64),
+            "node_size": np.asarray(size, dtype=np.int64),
+            "tree_roots": np.asarray(roots, dtype=np.int64),
+        }
+
+    def load_state_dict(self, state: dict) -> "IsolationForest":
+        """Restore a forest saved by :meth:`state_dict`."""
+        feature = np.asarray(state["node_feature"], dtype=np.int64)
+        value = np.asarray(state["node_value"], dtype=np.float64)
+        left = np.asarray(state["node_left"], dtype=np.int64)
+        right = np.asarray(state["node_right"], dtype=np.int64)
+        size = np.asarray(state["node_size"], dtype=np.int64)
+        roots = np.asarray(state["tree_roots"], dtype=np.int64)
+        n = len(feature)
+        for name, arr in (("node_value", value), ("node_left", left),
+                          ("node_right", right), ("node_size", size)):
+            if len(arr) != n:
+                raise ValueError(f"iforest state {name} has {len(arr)} entries, expected {n}")
+        children = np.concatenate([left, right, roots])
+        if children.size and (children.min() < -1 or children.max() >= n):
+            raise ValueError("iforest state references a node index outside the arrays")
+
+        def build(index: int) -> _Node:
+            node = _Node(feature=None if feature[index] < 0 else int(feature[index]),
+                         value=None if feature[index] < 0 else float(value[index]),
+                         size=int(size[index]))
+            if node.feature is not None:
+                if left[index] < 0 or right[index] < 0:
+                    raise ValueError(f"iforest state node {index} splits but lacks children")
+                node.left = build(int(left[index]))
+                node.right = build(int(right[index]))
+            return node
+
+        trees = [build(int(root)) for root in roots]
+        if not trees:
+            raise ValueError("iforest state holds no trees")
+        check_positive_int(int(state["n_trees"]), "n_trees")
+        check_positive_int(int(state["subsample_size"]), "subsample_size")
+        check_probability(float(state["contamination"]), "contamination")
+        self.n_trees = int(state["n_trees"])
+        self.subsample_size = int(state["subsample_size"])
+        self.contamination = float(state["contamination"])
+        self._subsample_used = int(state["subsample_used"])
+        self._trees = trees
+        self.threshold_ = float(state["threshold"])
+        self.train_scores_ = np.asarray(state["train_scores"], dtype=np.float64)
+        return self
+
     def _require_fitted(self) -> None:
         if not self._trees:
             raise RuntimeError("IsolationForest has not been fitted; call fit first")

@@ -66,6 +66,55 @@ class LocalOutlierFactor:
     def is_outlier(self, x: np.ndarray) -> np.ndarray:
         return self.decision_scores(x) > self.threshold_
 
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Checkpointable state: hyper-parameters + fitted arrays.
+
+        ``decision_scores`` is a deterministic function of these arrays,
+        so a restored detector scores bit-for-bit identically.
+        """
+        self._require_fitted()
+        return {
+            "n_neighbors": self.n_neighbors,
+            "contamination": self.contamination,
+            "x": self._x.copy(),
+            "k_distance": self._k_distance.copy(),
+            "lrd": self._lrd.copy(),
+            "neighbors": self._neighbors.copy(),
+            "threshold": float(self.threshold_),
+            "train_scores": self.train_scores_.copy(),
+        }
+
+    def load_state_dict(self, state: dict) -> "LocalOutlierFactor":
+        """Restore a detector saved by :meth:`state_dict`."""
+        x = np.asarray(state["x"], dtype=np.float64)
+        neighbors = np.asarray(state["neighbors"], dtype=np.int64)
+        if x.ndim != 2 or len(x) < 2:
+            raise ValueError(f"LOF state has a degenerate training matrix of shape {x.shape}")
+        if neighbors.ndim != 2 or len(neighbors) != len(x):
+            raise ValueError(f"LOF state neighbors shape {neighbors.shape} does not "
+                             f"match {len(x)} training samples")
+        if neighbors.size and (neighbors.min() < 0 or neighbors.max() >= len(x)):
+            raise ValueError("LOF state neighbors index outside the training set")
+        for name in ("k_distance", "lrd", "train_scores"):
+            arr = np.asarray(state[name], dtype=np.float64)
+            if arr.shape != (len(x),):
+                raise ValueError(f"LOF state {name} has shape {arr.shape}, expected "
+                                 f"({len(x)},) to match the training set")
+        check_positive_int(int(state["n_neighbors"]), "n_neighbors")
+        check_probability(float(state["contamination"]), "contamination")
+        self.n_neighbors = int(state["n_neighbors"])
+        self.contamination = float(state["contamination"])
+        self._x = x
+        self._k_distance = np.asarray(state["k_distance"], dtype=np.float64)
+        self._lrd = np.asarray(state["lrd"], dtype=np.float64)
+        self._neighbors = neighbors
+        self.threshold_ = float(state["threshold"])
+        self.train_scores_ = np.asarray(state["train_scores"], dtype=np.float64)
+        return self
+
     def _require_fitted(self) -> None:
         if self._x is None:
             raise RuntimeError("LocalOutlierFactor has not been fitted; call fit first")

@@ -49,6 +49,23 @@ class MinMaxNormalizer:
     def fit_transform(self, scores) -> np.ndarray:
         return self.fit(scores).transform(scores)
 
+    def state_dict(self) -> dict:
+        """Checkpointable state: the clip flag and the fitted range."""
+        if self.low is None or self.high is None:
+            raise RuntimeError("cannot checkpoint an unfitted normalizer")
+        return {"clip": self.clip, "low": self.low, "high": self.high}
+
+    def load_state_dict(self, state: dict) -> "MinMaxNormalizer":
+        """Restore a normalizer saved by :meth:`state_dict`."""
+        low = float(state["low"])
+        high = float(state["high"])
+        if high < low:
+            raise ValueError(f"normalizer state has high ({high}) < low ({low})")
+        self.clip = bool(state["clip"])
+        self.low = low
+        self.high = high
+        return self
+
 
 def contamination_threshold(scores, contamination: float) -> float:
     """The original HBOS threshold: the (n·γ)-th highest training score.

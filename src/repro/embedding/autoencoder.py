@@ -10,11 +10,12 @@ replace BiSAGE's in the detection pipeline.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
-from repro.nn import Adam, Conv1d, Linear, Module, Tensor, no_grad, ops
+from repro.nn import (Adam, Conv1d, Linear, Module, Tensor, export_parameters,
+                      load_parameters, no_grad, ops)
 from repro.utils.rng import as_rng
 from repro.utils.validation import check_positive, check_positive_int
 
@@ -39,6 +40,17 @@ class AutoencoderConfig:
         check_positive(self.learning_rate, "learning_rate")
         check_positive_int(self.epochs, "epochs")
         check_positive_int(self.batch_size, "batch_size")
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict (``channels`` becomes a list); see :meth:`from_dict`."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AutoencoderConfig":
+        data = dict(data)
+        if "channels" in data:
+            data["channels"] = tuple(int(c) for c in data["channels"])
+        return cls(**data)
 
 
 class _Encoder(Module):
@@ -121,3 +133,28 @@ class ConvAutoencoder(Module):
         with no_grad():
             _, reconstruction = self.forward(Tensor(x))
         return ((reconstruction.numpy() - x) ** 2).mean(axis=1)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Checkpointable state: config, input width and all weights.
+
+        ``Module.parameters()`` walks attributes in definition order, so
+        the flat parameter export is stable across constructions of the
+        same architecture.
+        """
+        return {
+            "config": self.config.to_dict(),
+            "num_features": self.num_features,
+            "loss_history": [float(x) for x in self.loss_history],
+            "parameters": export_parameters(self.parameters()),
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "ConvAutoencoder":
+        """Reconstruct a trained autoencoder saved by :meth:`state_dict`."""
+        model = cls(int(state["num_features"]), AutoencoderConfig.from_dict(state["config"]))
+        load_parameters(model.parameters(), state["parameters"])
+        model.loss_history = [float(x) for x in state.get("loss_history", [])]
+        return model

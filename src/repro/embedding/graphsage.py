@@ -10,7 +10,7 @@ substrate as BiSAGE to isolate the bi-level-aggregation ablation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
@@ -22,7 +22,8 @@ from repro.embedding.common import (
 from repro.graph.bipartite import MAC, RECORD, WeightedBipartiteGraph
 from repro.graph.sampling import NegativeSampler
 from repro.graph.walks import RandomWalker, WalkConfig, walk_pairs
-from repro.nn import Adam, Parameter, Tensor, init, ops, spmm
+from repro.nn import (Adam, Parameter, Tensor, export_parameters, init,
+                      load_parameters, ops, spmm)
 from repro.utils.rng import as_rng
 from repro.utils.validation import check_positive, check_positive_int
 
@@ -66,6 +67,18 @@ class GraphSAGEConfig:
         check_positive_int(self.epochs, "epochs")
         check_positive_int(self.batch_pairs, "batch_pairs")
         check_positive_int(self.negative_samples, "negative_samples")
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict (nested WalkConfig included); see :meth:`from_dict`."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GraphSAGEConfig":
+        data = dict(data)
+        walk = data.pop("walk", None)
+        if walk is not None:
+            data["walk"] = WalkConfig.from_dict(walk)
+        return cls(**data)
 
 
 class GraphSAGE:
@@ -246,6 +259,61 @@ class GraphSAGE:
             agg = probabilities @ self._cache_v[k][neighbors]
             z = _l2_rows(act(np.concatenate([z, agg]) @ self.weights[k].data))
         return z
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def parameters(self) -> list[Parameter]:
+        """All trainable layer weights."""
+        return list(self.weights)
+
+    def state_dict(self) -> dict:
+        """Checkpointable state: config, weights and inference caches.
+
+        Mirrors :meth:`repro.embedding.bisage.BiSAGE.state_dict`: the
+        per-layer caches are saved verbatim so a restored model
+        reproduces inductive embeddings bit-for-bit; the bound graph is
+        saved separately by the owner.
+        """
+        self._require_fitted()
+        state: dict = {
+            "config": self.config.to_dict(),
+            "macs_aggregated": self._macs_aggregated,
+            "loss_history": [float(x) for x in self.loss_history],
+            "parameters": export_parameters(self.parameters()),
+        }
+        for name in ("u", "v"):
+            layers = getattr(self, f"_cache_{name}")
+            state[f"cache_{name}"] = {str(k): layer.copy() for k, layer in enumerate(layers)}
+        return state
+
+    def load_state_dict(self, state: dict, graph: WeightedBipartiteGraph) -> "GraphSAGE":
+        """Restore a model saved by :meth:`state_dict` onto ``graph``."""
+        cfg = self.config
+        saved_cfg = GraphSAGEConfig.from_dict(state["config"])
+        if saved_cfg != cfg:
+            raise ValueError("checkpoint config does not match this model's config; "
+                             f"saved {saved_cfg}, constructed with {cfg}")
+        self.weights = [Parameter(np.zeros((2 * cfg.dim, cfg.dim))) for _ in range(cfg.num_layers)]
+        load_parameters(self.parameters(), state["parameters"])
+        for name in ("u", "v"):
+            saved = state[f"cache_{name}"]
+            layers = [np.asarray(saved[str(k)], dtype=np.float64) for k in range(len(saved))]
+            if len(layers) != cfg.num_layers + 1:
+                raise ValueError(f"cache_{name} has {len(layers)} layers, expected {cfg.num_layers + 1}")
+            for layer in layers:
+                if layer.shape[1] != cfg.dim:
+                    raise ValueError(f"cache_{name} dimension {layer.shape[1]} != config dim {cfg.dim}")
+            setattr(self, f"_cache_{name}", layers)
+        num_u = self._cache_u[0].shape[0]
+        if num_u > graph.num_records:
+            raise ValueError(f"cached {num_u} record nodes but graph has only {graph.num_records}")
+        self._macs_aggregated = int(state["macs_aggregated"])
+        if self._macs_aggregated > graph.num_macs:
+            raise ValueError(f"macs_aggregated={self._macs_aggregated} exceeds graph's {graph.num_macs} MACs")
+        self.loss_history = [float(x) for x in state.get("loss_history", [])]
+        self.graph = graph
+        return self
 
 
 def _l2_rows(x: np.ndarray, eps: float = 1e-12) -> np.ndarray:

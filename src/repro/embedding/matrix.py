@@ -83,3 +83,23 @@ class MatrixView:
             return 0.0
         known = sum(1 for mac in record.readings if mac in self._column)
         return known / len(record.readings)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Checkpointable state: the column universe and imputation knobs."""
+        return {
+            "macs": list(self.macs),
+            "fill_value": self.fill_value,
+            "scale": self.scale,
+            "scale_max": self.scale_max,
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "MatrixView":
+        """Reconstruct a view saved by :meth:`state_dict`."""
+        return cls(macs=[str(mac) for mac in state["macs"]],
+                   fill_value=float(state["fill_value"]),
+                   scale=bool(state["scale"]),
+                   scale_max=float(state["scale_max"]))

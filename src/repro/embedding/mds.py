@@ -67,7 +67,10 @@ class ClassicalMDS:
         order = np.argsort(eigenvalues)[::-1]
         keep = order[: self.dim]
         values = np.maximum(eigenvalues[keep], 0.0)
-        vectors = eigenvectors[:, keep]
+        # eigh hands back Fortran-ordered vectors; normalise to C order so
+        # transform()'s matmul rounds identically before and after a
+        # state_dict round trip (BLAS kernels differ per memory layout).
+        vectors = np.ascontiguousarray(eigenvectors[:, keep])
 
         self._x_train = x.copy()
         self._eigenvalues = values
@@ -99,3 +102,42 @@ class ClassicalMDS:
         safe = np.where(values > 1e-12, values, np.inf)
         coords = kernel @ self._eigenvectors / np.sqrt(safe)[None, :]
         return self._pad(coords)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Checkpointable state: the fitted spectral decomposition.
+
+        ``transform`` is a deterministic function of these arrays, so a
+        restored model embeds out-of-sample rows bit-for-bit identically.
+        """
+        if self._x_train is None:
+            raise RuntimeError("cannot checkpoint an unfitted MDS model")
+        return {
+            "dim": self.dim,
+            "x_train": self._x_train.copy(),
+            "eigenvectors": self._eigenvectors.copy(),
+            "eigenvalues": self._eigenvalues.copy(),
+            "sq_row_means": self._sq_row_means.copy(),
+            "sq_grand_mean": self._sq_grand_mean,
+            "embedding": self.embedding_.copy(),
+        }
+
+    def load_state_dict(self, state: dict) -> "ClassicalMDS":
+        """Restore a model saved by :meth:`state_dict`."""
+        if int(state["dim"]) != self.dim:
+            raise ValueError(f"checkpoint dim {state['dim']} does not match "
+                             f"this model's dim {self.dim}")
+        x_train = np.asarray(state["x_train"], dtype=np.float64)
+        eigenvectors = np.asarray(state["eigenvectors"], dtype=np.float64)
+        if eigenvectors.shape[0] != len(x_train):
+            raise ValueError(f"eigenvectors for {eigenvectors.shape[0]} rows but "
+                             f"{len(x_train)} training rows")
+        self._x_train = x_train
+        self._eigenvectors = eigenvectors
+        self._eigenvalues = np.asarray(state["eigenvalues"], dtype=np.float64)
+        self._sq_row_means = np.asarray(state["sq_row_means"], dtype=np.float64)
+        self._sq_grand_mean = float(state["sq_grand_mean"])
+        self.embedding_ = np.asarray(state["embedding"], dtype=np.float64)
+        return self

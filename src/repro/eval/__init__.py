@@ -1,6 +1,12 @@
 """Evaluation: metrics, ROC, the streaming harness, timing, reporting."""
 
-from repro.eval.algorithms import ALGORITHM_NAMES, make_algorithm
+from repro.eval.algorithms import (
+    ALGORITHM_NAMES,
+    ALGORITHM_SPECS,
+    arm_accepts,
+    arm_spec,
+    make_algorithm,
+)
 from repro.eval.harness import EvaluationResult, evaluate_streaming, score_stream
 from repro.eval.metrics import (
     ConfusionCounts,
@@ -15,6 +21,9 @@ from repro.eval.timing import InferenceTiming, measure_batch_update, measure_inf
 
 __all__ = [
     "ALGORITHM_NAMES",
+    "ALGORITHM_SPECS",
+    "arm_accepts",
+    "arm_spec",
     "ConfusionCounts",
     "EvaluationResult",
     "InOutMetrics",

@@ -1,0 +1,42 @@
+"""Declarative pipeline composition: registry + spec + builder.
+
+Any embedder x detector arm of the paper's evaluation — and any
+standalone baseline — is described by a JSON-serialisable
+:class:`PipelineSpec`, validated against the component registry and
+built with :func:`build_pipeline`::
+
+    from repro.pipeline import ComponentSpec, PipelineSpec, build_pipeline
+
+    spec = PipelineSpec(embedder=ComponentSpec("bisage", {"dim": 16}),
+                        detector=ComponentSpec("lof"),
+                        self_update=False)
+    pipeline = build_pipeline(spec).fit(train_records)
+
+The same spec travels inside every checkpoint, so ``repro.serve`` can
+reconstruct and serve any arm without knowing its class.
+"""
+
+from repro.pipeline.build import build_pipeline, infer_spec
+from repro.pipeline.registry import (
+    COMPONENT_KINDS,
+    ComponentEntry,
+    UnknownComponentError,
+    get_component,
+    known_components,
+    register_component,
+)
+from repro.pipeline.spec import SPEC_VERSION, ComponentSpec, PipelineSpec
+
+__all__ = [
+    "COMPONENT_KINDS",
+    "ComponentEntry",
+    "ComponentSpec",
+    "PipelineSpec",
+    "SPEC_VERSION",
+    "UnknownComponentError",
+    "build_pipeline",
+    "get_component",
+    "infer_spec",
+    "known_components",
+    "register_component",
+]

@@ -1,0 +1,66 @@
+"""Resolve a :class:`~repro.pipeline.spec.PipelineSpec` into a live pipeline."""
+
+from __future__ import annotations
+
+from repro.baselines.inoa import INOA
+from repro.baselines.signature_home import SignatureHome
+from repro.core.gem import GEM, EmbeddingGeofencer
+from repro.pipeline.spec import ComponentSpec, PipelineSpec
+
+__all__ = ["build_pipeline", "infer_spec"]
+
+
+def build_pipeline(spec: PipelineSpec):
+    """Build the pipeline a spec describes (validating it first).
+
+    Returns a standalone model for model specs, an
+    :class:`~repro.core.gem.EmbeddingGeofencer` for embedder x detector
+    specs.  The spec is stamped on the result (``pipeline.spec``) so
+    checkpoints can embed it and a fleet can rebuild the exact same arm
+    on reload.
+    """
+    spec.validate()
+    if spec.model is not None:
+        entry = spec.model.resolve("model")
+        pipeline = entry.factory(**spec.model.params)
+    else:
+        embedder = spec.embedder.resolve("embedder").factory(**spec.embedder.params)
+        detector = spec.detector.resolve("detector").factory(**spec.detector.params)
+        pipeline = EmbeddingGeofencer(embedder, detector,
+                                      self_update=spec.self_update,
+                                      batch_update_size=spec.batch_update_size)
+    pipeline.spec = spec
+    return pipeline
+
+
+def infer_spec(model) -> PipelineSpec:
+    """Best-effort spec for a pipeline built *without* one.
+
+    Pipelines from :func:`build_pipeline` carry their spec already; this
+    covers the hand-constructed built-ins whose constructor parameters
+    are recoverable from the instance.  Anything else must be built from
+    a spec (or handed one explicitly) to be checkpointable.
+    """
+    spec = getattr(model, "spec", None)
+    if spec is not None:
+        return spec
+    if isinstance(model, GEM):
+        return PipelineSpec(model=ComponentSpec("gem", model.config.to_dict()))
+    if isinstance(model, SignatureHome):
+        return PipelineSpec(model=ComponentSpec("signature-home", {
+            "association_weight": model.association_weight,
+            "overlap_weight": model.overlap_weight,
+            "threshold": model.threshold,
+            "association_rssi_floor": model.association_rssi_floor,
+        }))
+    if isinstance(model, INOA):
+        return PipelineSpec(model=ComponentSpec("inoa", {
+            "threshold": model.threshold,
+            "radius_quantile": model.radius_quantile,
+            "min_support": model.min_support,
+            "unseen_pair_vote": model.unseen_pair_vote,
+            "calibration_quantile": model.calibration_quantile,
+        }))
+    raise TypeError(
+        f"cannot infer a PipelineSpec for {type(model).__name__}; build the "
+        "pipeline with repro.pipeline.build_pipeline or pass spec= explicitly")

@@ -1,23 +1,28 @@
 """Model persistence and multi-tenant fleet serving.
 
-The paper's deployment model is one GEM per user premises (Table II);
-this package turns the in-memory pipeline into a servable asset:
+The paper's deployment model is one pipeline per user premises
+(Table II); this package turns the in-memory pipeline into a servable
+asset:
 
 * :mod:`repro.serve.checkpoint` — versioned on-disk format (npz arrays
-  + JSON manifest) for any fitted pipeline exposing ``state_dict``;
+  + JSON manifest, with the declarative pipeline spec embedded) for any
+  fitted pipeline exposing ``state_dict``;
 * :mod:`repro.serve.registry` — per-tenant checkpoint store with
   atomic writes;
 * :mod:`repro.serve.fleet` — LRU-cached multi-tenant server with dirty
-  write-back and batched dispatch;
+  write-back, batched dispatch and heterogeneous per-tenant arms;
 * :mod:`repro.serve.telemetry` — per-tenant / fleet-wide counters.
 """
 
 from repro.serve.checkpoint import (
     CHECKPOINT_VERSION,
+    SUPPORTED_VERSIONS,
     CheckpointError,
     load_checkpoint,
+    load_checkpoint_with_manifest,
     read_manifest,
     save_checkpoint,
+    spec_from_manifest,
 )
 from repro.serve.fleet import GeofenceFleet
 from repro.serve.registry import ModelRegistry, validate_tenant_id
@@ -29,9 +34,12 @@ __all__ = [
     "FleetTelemetry",
     "GeofenceFleet",
     "ModelRegistry",
+    "SUPPORTED_VERSIONS",
     "TenantStats",
     "load_checkpoint",
+    "load_checkpoint_with_manifest",
     "read_manifest",
     "save_checkpoint",
+    "spec_from_manifest",
     "validate_tenant_id",
 ]

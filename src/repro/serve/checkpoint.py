@@ -6,9 +6,10 @@ A checkpoint is a directory holding two files:
     Every numpy array of the model's (nested) ``state_dict``, stored
     under its flattened key path (``"embedder/graph/edge_weights"``).
 ``manifest.json``
-    Format version, model class, library version, user metadata, the
-    name of the arrays file it commits, and every non-array leaf of
-    the state under the same flattened keys.
+    Format version, model class, the declarative pipeline spec the
+    model was built from, library version, user metadata, the name of
+    the arrays file it commits, and every non-array leaf of the state
+    under the same flattened keys.
 
 The split keeps the format language-neutral and diffable: the manifest
 is plain JSON you can read with any tool, and the arrays are standard
@@ -18,6 +19,11 @@ swapped in with ``os.replace``, and only then are superseded arrays
 files deleted.  A crash at any step leaves the previous complete
 checkpoint loadable; both files also carry the save nonce so a
 manually mixed pair is rejected as torn.
+
+Version history: format 1 (PR 1) only ever held :class:`GEM` models and
+carried no spec; format 2 embeds the ``pipeline_spec`` so *any*
+registered arm round-trips.  Format-1 checkpoints still load through a
+migration path that synthesises the GEM spec from the saved config.
 """
 
 from __future__ import annotations
@@ -33,10 +39,11 @@ from typing import Any
 import numpy as np
 
 from repro import __version__
-from repro.core.gem import GEM
+from repro.pipeline import ComponentSpec, PipelineSpec, build_pipeline, infer_spec
 
 __all__ = [
     "CHECKPOINT_VERSION",
+    "SUPPORTED_VERSIONS",
     "MANIFEST_NAME",
     "ARRAYS_PREFIX",
     "ARRAYS_SUFFIX",
@@ -48,9 +55,11 @@ __all__ = [
     "load_checkpoint_with_manifest",
     "load_state",
     "read_manifest",
+    "spec_from_manifest",
 ]
 
-CHECKPOINT_VERSION = 1
+CHECKPOINT_VERSION = 2
+SUPPORTED_VERSIONS = (1, CHECKPOINT_VERSION)
 MANIFEST_NAME = "manifest.json"
 ARRAYS_PREFIX = "arrays-"
 ARRAYS_SUFFIX = ".npz"
@@ -164,18 +173,25 @@ def _replace_into(directory: Path, name: str, writer) -> None:
         raise
 
 
-def save_checkpoint(model, directory: str | Path, metadata: dict | None = None) -> Path:
+def save_checkpoint(model, directory: str | Path, metadata: dict | None = None,
+                    spec: PipelineSpec | None = None) -> Path:
     """Persist a fitted model's ``state_dict`` under ``directory``.
 
-    ``model`` must expose ``state_dict()`` (e.g. :class:`GEM`).  Returns
-    the checkpoint directory.  Overwriting an existing checkpoint never
-    destroys it: the new arrays land under a fresh name, the manifest
-    swap is the atomic commit, and the superseded arrays file is only
-    deleted after the commit — a crash anywhere leaves the previous (or
-    the new) complete checkpoint loadable.
+    ``model`` must expose ``state_dict()``; the manifest embeds the
+    model's :class:`~repro.pipeline.spec.PipelineSpec` (the one stamped
+    by ``build_pipeline``, the explicit ``spec=`` argument, or one
+    inferred for the hand-constructed built-ins) so loading can rebuild
+    the exact arm without knowing its class.  Returns the checkpoint
+    directory.  Overwriting an existing checkpoint never destroys it:
+    the new arrays land under a fresh name, the manifest swap is the
+    atomic commit, and the superseded arrays file is only deleted after
+    the commit — a crash anywhere leaves the previous (or the new)
+    complete checkpoint loadable.
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
+    spec = spec if spec is not None else infer_spec(model)
+    spec.require_state_dict()
     state = model.state_dict()
     arrays, leaves = flatten_state(state)
     if _SAVE_ID_KEY in arrays:
@@ -186,6 +202,7 @@ def save_checkpoint(model, directory: str | Path, metadata: dict | None = None) 
     manifest = {
         "format_version": CHECKPOINT_VERSION,
         "model_class": type(model).__name__,
+        "pipeline_spec": spec.to_dict(),
         "repro_version": __version__,
         "saved_at": time.time(),
         "save_id": save_id,
@@ -222,9 +239,10 @@ def read_manifest(directory: str | Path) -> dict:
     except json.JSONDecodeError as error:
         raise CheckpointError(f"{manifest_path}: corrupt manifest: {error}") from error
     version = manifest.get("format_version")
-    if version != CHECKPOINT_VERSION:
+    if version not in SUPPORTED_VERSIONS:
+        supported = ", ".join(str(v) for v in SUPPORTED_VERSIONS)
         raise CheckpointError(f"{manifest_path}: format version {version!r} is not "
-                              f"supported (this build reads version {CHECKPOINT_VERSION})")
+                              f"supported (this build reads versions {supported})")
     return manifest
 
 
@@ -270,19 +288,52 @@ def load_state(directory: str | Path, _retries: int = 2) -> tuple[dict, dict]:
     return unflatten_state(arrays, manifest.get("state", {})), manifest
 
 
-def load_checkpoint_with_manifest(directory: str | Path) -> tuple[GEM, dict]:
-    """Reconstruct a fitted :class:`GEM` plus the manifest it came from.
+def spec_from_manifest(manifest: dict, state: dict) -> PipelineSpec:
+    """The pipeline spec a checkpoint was saved with (migrating format 1).
 
-    One disk read serves both, so the model and its metadata are
-    guaranteed to belong to the same save even with a concurrent writer.
+    Format-2 manifests carry the spec verbatim.  Format-1 checkpoints
+    (PR 1) only ever held :class:`~repro.core.gem.GEM` models, whose
+    config lives in the state tree — the migration synthesises the
+    equivalent ``gem`` model spec from it, so old checkpoints keep
+    loading through the same registry path as new ones.
     """
-    state, manifest = load_state(directory)
+    raw = manifest.get("pipeline_spec")
+    if raw is not None:
+        try:
+            return PipelineSpec.from_dict(raw)
+        except (TypeError, ValueError) as error:
+            raise CheckpointError(f"checkpoint has an invalid pipeline_spec: {error}") from error
     model_class = manifest.get("model_class")
     if model_class != "GEM":
-        raise CheckpointError(f"checkpoint holds a {model_class!r} model; "
-                              "only GEM checkpoints can be loaded")
+        raise CheckpointError(
+            f"format-{manifest.get('format_version')} checkpoint holds a "
+            f"{model_class!r} model but carries no pipeline_spec; only GEM "
+            "checkpoints predate the spec format")
+    config = state.get("config")
+    if not isinstance(config, dict):
+        raise CheckpointError("legacy GEM checkpoint is missing its config state; "
+                              "cannot migrate it to a pipeline spec")
     try:
-        model = GEM.from_state_dict(state)
+        return PipelineSpec(model=ComponentSpec("gem", config))
+    except (TypeError, ValueError) as error:
+        raise CheckpointError(f"legacy GEM checkpoint has an unmigratable config: "
+                              f"{error}") from error
+
+
+def load_checkpoint_with_manifest(directory: str | Path) -> tuple:
+    """Reconstruct a fitted pipeline plus the manifest it came from.
+
+    The pipeline is rebuilt from the manifest's embedded spec (or the
+    format-1 GEM migration) and restored all-or-nothing from the saved
+    state; any registered arm loads through this one path.  One disk
+    read serves model and metadata, so the pair is guaranteed to belong
+    to the same save even with a concurrent writer.
+    """
+    state, manifest = load_state(directory)
+    spec = spec_from_manifest(manifest, state)
+    try:
+        model = build_pipeline(spec)
+        model.load_state_dict(state)
     except (KeyError, TypeError, ValueError) as error:
         # Missing state leaves, wrong config types, shape mismatches:
         # all mean the checkpoint is structurally invalid.
@@ -291,7 +342,7 @@ def load_checkpoint_with_manifest(directory: str | Path) -> tuple[GEM, dict]:
     return model, manifest
 
 
-def load_checkpoint(directory: str | Path) -> GEM:
-    """Reconstruct a fitted :class:`GEM` from a checkpoint directory."""
+def load_checkpoint(directory: str | Path):
+    """Reconstruct the fitted pipeline a checkpoint directory describes."""
     model, _ = load_checkpoint_with_manifest(directory)
     return model

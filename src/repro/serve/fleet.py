@@ -1,4 +1,4 @@
-"""Multi-tenant geofence serving: one GEM per premises, many premises.
+"""Multi-tenant geofence serving: one pipeline per premises, many premises.
 
 The paper deploys one model per user home (Table II); a service serves
 millions of them.  :class:`GeofenceFleet` is the single-node building
@@ -9,6 +9,12 @@ is exceeded, and writing dirty (observed-since-load) models back to the
 registry before they leave memory — so an evicted tenant's next
 observation resumes from *exactly* the state it would have had in
 memory, self-updates included.
+
+Fleets are heterogeneous: each tenant may be provisioned from its own
+:class:`~repro.pipeline.spec.PipelineSpec` (any registered
+embedder x detector arm, or a standalone baseline), and reloads rebuild
+whatever arm the tenant's checkpoint embeds — one fleet serves a GEM
+home next to a BiSAGE+LOF lab next to an INOA mall.
 
 Thread safety: one re-entrant lock serialises model access.  The models
 themselves are single-threaded numpy pipelines, so the lock is the
@@ -24,8 +30,9 @@ from threading import RLock
 from typing import Callable, Iterable, Sequence
 
 from repro.core.gem import GEM
-from repro.core.protocols import GeofenceDecision
+from repro.core.protocols import GeofenceDecision, GeofenceModel
 from repro.core.records import SignalRecord
+from repro.pipeline import PipelineSpec, build_pipeline
 from repro.serve.checkpoint import CheckpointError
 from repro.serve.registry import ModelRegistry, validate_tenant_id
 from repro.serve.telemetry import FleetTelemetry
@@ -44,13 +51,14 @@ class GeofenceFleet:
         Maximum number of tenant models resident at once.
     model_factory:
         Zero-argument callable producing an unfitted pipeline for
-        :meth:`provision`; defaults to ``GEM()`` with paper defaults.
+        :meth:`provision` calls that pass no spec; defaults to ``GEM()``
+        with paper defaults.
     telemetry:
         Counter sink; a fresh :class:`FleetTelemetry` by default.
     """
 
     def __init__(self, registry: ModelRegistry | str, capacity: int = 8,
-                 model_factory: Callable[[], GEM] | None = None,
+                 model_factory: Callable[[], GeofenceModel] | None = None,
                  telemetry: FleetTelemetry | None = None):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
@@ -59,7 +67,7 @@ class GeofenceFleet:
         self.model_factory = model_factory if model_factory is not None else GEM
         self.telemetry = telemetry if telemetry is not None else FleetTelemetry()
         # tenant_id -> model, most-recently-used last.
-        self._cache: "OrderedDict[str, GEM]" = OrderedDict()
+        self._cache: "OrderedDict[str, GeofenceModel]" = OrderedDict()
         self._dirty: set[str] = set()
         # Checkpoint metadata, cached so write-backs don't re-read the
         # manifest from disk on the serving path.
@@ -70,10 +78,21 @@ class GeofenceFleet:
     # Tenant lifecycle
     # ------------------------------------------------------------------
     def provision(self, tenant_id: str, records: Sequence[SignalRecord],
-                  metadata: dict | None = None) -> GEM:
-        """Fit a fresh model for a tenant and persist it immediately."""
+                  metadata: dict | None = None,
+                  spec: PipelineSpec | None = None) -> GeofenceModel:
+        """Fit a fresh model for a tenant and persist it immediately.
+
+        With a ``spec``, the tenant gets that declarative arm (any
+        registered embedder x detector composition or standalone model);
+        otherwise the fleet's ``model_factory`` decides.  Mixed-arm
+        fleets are fully supported — the arm travels inside the tenant's
+        checkpoint, so later reloads rebuild the right pipeline.
+        """
         validate_tenant_id(tenant_id)
-        model = self.model_factory()
+        if spec is not None:
+            # Fail before the (expensive) fit, not at checkpoint time.
+            spec.require_state_dict()
+        model = build_pipeline(spec) if spec is not None else self.model_factory()
         model.fit(records)
         with self._lock:
             self._metadata[tenant_id] = dict(metadata or {})
@@ -198,7 +217,7 @@ class GeofenceFleet:
     # ------------------------------------------------------------------
     # Internals (call with the lock held)
     # ------------------------------------------------------------------
-    def _acquire(self, tenant_id: str) -> GEM:
+    def _acquire(self, tenant_id: str) -> GeofenceModel:
         model = self._cache.get(tenant_id)
         if model is None:
             start = time.perf_counter()
@@ -236,7 +255,7 @@ class GeofenceFleet:
         # counters into the retired aggregate.
         self.telemetry.retire(tenant_id)
 
-    def _write_back(self, tenant_id: str, model: GEM) -> None:
+    def _write_back(self, tenant_id: str, model) -> None:
         if tenant_id not in self._dirty:
             return
         # The partial self-update buffer is checkpointed as-is (not
@@ -244,7 +263,7 @@ class GeofenceFleet:
         self._save(tenant_id, model)
         self._dirty.discard(tenant_id)
 
-    def _save(self, tenant_id: str, model: GEM) -> None:
+    def _save(self, tenant_id: str, model) -> None:
         start = time.perf_counter()
         self.registry.save(tenant_id, model,
                            metadata=self._metadata.get(tenant_id, {}))

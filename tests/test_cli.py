@@ -1,0 +1,113 @@
+"""``python -m repro`` CLI: spec emit, train, eval, serve, components."""
+
+import json
+
+import pytest
+
+from conftest import synthetic_records
+from repro.cli import main
+from repro.core.io import record_to_dict, save_records
+from repro.serve import ModelRegistry, load_checkpoint
+
+
+def run(*argv):
+    return main(list(argv))
+
+
+class TestComponentsAndSpec:
+    def test_components_lists_registry(self, capsys):
+        assert run("components") == 0
+        out = capsys.readouterr().out
+        for name in ("bisage", "histogram", "lof", "gem", "inoa"):
+            assert name in out
+
+    def test_spec_emits_valid_json(self, tmp_path, capsys):
+        spec_path = tmp_path / "arm.json"
+        assert run("spec", "--arm", "BiSAGE+LOF", "--dim", "16",
+                   "-o", str(spec_path)) == 0
+        data = json.loads(spec_path.read_text())
+        assert data["embedder"]["name"] == "bisage"
+        assert data["embedder"]["params"]["dim"] == 16
+        assert data["detector"]["name"] == "lof"
+
+
+class TestTrainEvalServe:
+    @pytest.fixture()
+    def records_file(self, tmp_path):
+        path = tmp_path / "train.jsonl"
+        save_records(synthetic_records(30, seed=0, center=2.0), path)
+        return path
+
+    def test_train_from_spec_file_to_checkpoint(self, tmp_path, records_file, capsys):
+        spec_path = tmp_path / "spec.json"
+        assert run("spec", "--arm", "GEM(no-BiSAGE)", "-o", str(spec_path)) == 0
+        out_dir = tmp_path / "ckpt"
+        assert run("train", "--spec", str(spec_path),
+                   "--records", str(records_file), "--out", str(out_dir)) == 0
+        model = load_checkpoint(out_dir)
+        assert model.spec.embedder.name == "imputed-matrix"
+
+    def test_train_into_registry_then_serve(self, tmp_path, records_file, capsys):
+        registry_root = tmp_path / "reg"
+        assert run("train", "--arm", "GEM(no-BiSAGE)",
+                   "--records", str(records_file),
+                   "--registry", str(registry_root), "--tenant", "t1") == 0
+        assert "t1" in ModelRegistry(registry_root)
+
+        events = tmp_path / "events.jsonl"
+        with events.open("w") as handle:
+            for record in synthetic_records(4, seed=5, center=2.0):
+                event = record_to_dict(record)
+                event["tenant"] = "t1"
+                handle.write(json.dumps(event) + "\n")
+        out_path = tmp_path / "decisions.jsonl"
+        assert run("serve", "--registry", str(registry_root),
+                   "--events", str(events), "-o", str(out_path)) == 0
+        decisions = [json.loads(line) for line in out_path.read_text().splitlines()]
+        assert len(decisions) == 4
+        assert all(d["tenant"] == "t1" and isinstance(d["inside"], bool)
+                   for d in decisions)
+
+    def test_train_requires_a_destination(self, records_file, capsys):
+        assert run("train", "--arm", "GEM", "--records", str(records_file)) == 2
+
+    def test_eval_quick_writes_metrics_json(self, tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.json"
+        assert run("eval", "--arms", "GEM(no-BiSAGE)", "--quick",
+                   "--json", str(metrics_path)) == 0
+        payload = json.loads(metrics_path.read_text())
+        assert set(payload) == {"GEM(no-BiSAGE)"}
+        assert 0.0 <= payload["GEM(no-BiSAGE)"]["f_in"] <= 1.0
+
+    def test_eval_rejects_unknown_arm(self, capsys):
+        assert run("eval", "--arms", "MagicNet") == 2
+
+    def test_eval_list(self, capsys):
+        assert run("eval", "--list") == 0
+        assert "SignatureHome" in capsys.readouterr().out
+
+    def test_serve_rejects_bad_event(self, tmp_path, capsys):
+        events = tmp_path / "events.jsonl"
+        events.write_text('{"no_tenant": true}\n')
+        assert run("serve", "--registry", str(tmp_path / "reg"),
+                   "--events", str(events)) == 2
+
+
+class TestErrorHandling:
+    """Operator mistakes exit 2 with one stderr line, never a traceback."""
+
+    def test_spec_unknown_arm(self, capsys):
+        assert run("spec", "--arm", "Nope") == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_train_missing_records_file(self, tmp_path, capsys):
+        assert run("train", "--arm", "GEM", "--records",
+                   str(tmp_path / "missing.jsonl"), "--out", str(tmp_path / "o")) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_unknown_tenant(self, tmp_path, capsys):
+        events = tmp_path / "events.jsonl"
+        events.write_text('{"tenant": "ghost", "rss": {"aa": -50.0}}\n')
+        assert run("serve", "--registry", str(tmp_path / "reg"),
+                   "--events", str(events)) == 2
+        assert "error:" in capsys.readouterr().err
