@@ -19,6 +19,11 @@ Subcommands
 ``serve``
     Replay a JSONL event stream through a multi-tenant fleet rooted at
     a checkpoint registry; print one decision JSON per line.
+``drift``
+    Evolve a synthetic world over simulated days (AP churn, a one-shot
+    churn shock, power/device drift) and replay the multi-epoch stream
+    through an arm online — and through a frozen static snapshot — to
+    get per-epoch AUC/FPR/FNR trajectories and time-to-recovery.
 """
 
 from __future__ import annotations
@@ -71,6 +76,34 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--quick", action="store_true",
                    help="small synthetic world + fast hyper-parameters")
     p.add_argument("--json", dest="json_out", help="also write metrics to this JSON file")
+
+    p = sub.add_parser("drift", help="streaming drift evaluation over a dynamic world")
+    source = p.add_mutually_exclusive_group()
+    source.add_argument("--arm", default="GEM", help="paper arm name (default GEM)")
+    source.add_argument("--spec", help="PipelineSpec JSON file (its drift block, if "
+                                       "present, defines the workload)")
+    p.add_argument("--user", type=int, default=3, help="synthetic Table-II user world id")
+    p.add_argument("--epochs", type=int, default=8, help="simulated days to evolve")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--churn", type=float, default=0.04,
+                   help="per-epoch AP replacement probability")
+    p.add_argument("--shock-epoch", type=int, default=None,
+                   help="epoch of the one-shot churn shock (default: midpoint)")
+    p.add_argument("--shock-fraction", type=float, default=0.3,
+                   help="fraction of ambient APs replaced at the shock")
+    p.add_argument("--sessions", type=int, default=4, help="test sessions per epoch")
+    p.add_argument("--session-s", type=float, default=45.0, help="seconds per session")
+    p.add_argument("--train-s", type=float, default=180.0, help="training walk seconds")
+    p.add_argument("--no-baseline", action="store_true",
+                   help="skip the frozen static-snapshot comparison run")
+    p.add_argument("--fleet", action="store_true",
+                   help="also replay through a GeofenceFleet tenant with forced "
+                        "mid-stream evict/reload")
+    p.add_argument("--quick", action="store_true",
+                   help="shrink the model's hyper-parameters (shorter GNN "
+                        "training; the world and epochs are unchanged — "
+                        "recovery is a data-volume effect). No effect with --spec")
+    p.add_argument("--json", dest="json_out", help="also write trajectories to this JSON file")
 
     p = sub.add_parser("serve", help="replay a JSONL event stream through a fleet")
     p.add_argument("--registry", required=True, help="tenant registry root")
@@ -208,6 +241,107 @@ def _cmd_eval(args) -> int:
     return 0
 
 
+def _cmd_drift(args) -> int:
+    import tempfile
+
+    from repro.datasets.users import user_scenario
+    from repro.eval.algorithms import arm_spec
+    from repro.eval.drift import DriftHarness
+    from repro.eval.reporting import format_table
+    from repro.pipeline import ComponentSpec, DriftSpec, PipelineSpec, build_pipeline
+    from repro.rf.dynamics import home_ap_ids
+
+    sessions, session_s, train_s = args.sessions, args.session_s, args.train_s
+
+    if args.spec:
+        spec = PipelineSpec.from_json(Path(args.spec).read_text())
+    else:
+        # --quick shortens GNN training but keeps dim 32 (and the world
+        # untouched): thin embeddings and thin streams both visibly slow
+        # post-churn recovery, which is the subject here.
+        gem_config = None
+        if args.quick:
+            from repro.core.config import GEMConfig
+            from repro.embedding.bisage import BiSAGEConfig
+            gem_config = GEMConfig(bisage=BiSAGEConfig(epochs=2))
+        spec = arm_spec(args.arm, seed=args.seed, dim=32,
+                        gem_config=gem_config, strict=False)
+    scenario = user_scenario(args.user)
+    drift = spec.drift
+    if drift is None:
+        epochs = args.epochs
+        shock_epoch = args.shock_epoch if args.shock_epoch is not None \
+            else max(1, epochs // 2 - 1)
+        if not 1 <= shock_epoch < epochs:
+            print(f"error: --shock-epoch must be in 1..{epochs - 1}, got {shock_epoch}",
+                  file=sys.stderr)
+            return 2
+        # The user's own AP survives churn; the ambient neighbourhood does not.
+        protect = list(home_ap_ids(scenario))
+        drift = DriftSpec(num_epochs=epochs, seed=args.seed, schedules=(
+            ComponentSpec("ap-churn", {"rate": args.churn, "protect": protect}),
+            ComponentSpec("tx-power-drift", {}),
+            ComponentSpec("device-gain-drift", {}),
+            ComponentSpec("churn-shock", {"epoch": shock_epoch,
+                                          "fraction": args.shock_fraction,
+                                          "protect": protect}),
+        ))
+    else:
+        # The spec's drift block is the whole workload: the CLI's epoch
+        # and shock flags do not apply, and a workload without a
+        # churn-shock schedule has no time-to-recovery to report.
+        shock_epoch = next((entry.params.get("epoch") for entry in drift.schedules
+                            if entry.name == "churn-shock"), None)
+    harness = DriftHarness(drift.build_timeline(scenario), seed=args.seed,
+                           train_duration_s=train_s, sessions_per_epoch=sessions,
+                           session_duration_s=session_s)
+
+    runs = [harness.run(build_pipeline(spec), label="online", online=True)]
+    if not args.no_baseline:
+        try:
+            runs.append(harness.run(build_pipeline(spec), label="static", online=False))
+        except TypeError as error:
+            print(f"note: skipping static baseline: {error}", file=sys.stderr)
+    if args.fleet:
+        from repro.serve import GeofenceFleet
+        with tempfile.TemporaryDirectory() as root:
+            with GeofenceFleet(root, capacity=1) as fleet:
+                fleet.provision("drift-tenant", harness.training_records(), spec=spec)
+                runs.append(harness.run_fleet(fleet, "drift-tenant", label="fleet"))
+
+    headers = ["epoch", "records"]
+    for run in runs:
+        headers += [f"AUC {run.label}", f"FPR {run.label}"]
+    headers.append("events")
+    rows = []
+    for i, base in enumerate(runs[0].epochs):
+        row = [str(base.epoch), str(base.num_records)]
+        for run in runs:
+            m = run.epochs[i]
+            row.append("--" if m.auc is None else f"{m.auc:.3f}")
+            row.append(f"{m.fpr:.2f}")
+        events = "; ".join(base.events)
+        row.append(events[:44] or "-")
+        rows.append(row)
+    shock_note = f", shock at epoch {shock_epoch}" if shock_epoch is not None else ""
+    print(format_table(headers, rows,
+                       title=f"user-{args.user} drift: {spec.describe()}{shock_note}"))
+    recovery = {}
+    if shock_epoch is not None:
+        recovery = {run.label: run.recovery_after(shock_epoch) for run in runs}
+        for label, value in recovery.items():
+            text = "never within this horizon" if value is None else f"{value} epoch(s)"
+            print(f"time-to-recovery ({label}): {text}")
+    if args.json_out:
+        payload = {"user": args.user, "seed": args.seed, "shock_epoch": shock_epoch,
+                   "pipeline": spec.to_dict(), "workload": drift.to_dict(),
+                   "runs": [run.to_dict() for run in runs],
+                   "recovery_epochs": recovery}
+        Path(args.json_out).write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+        print(f"trajectories written to {args.json_out}")
+    return 0
+
+
 def _cmd_serve(args) -> int:
     from repro.core.io import record_from_dict
     from repro.serve import GeofenceFleet
@@ -254,6 +388,7 @@ _COMMANDS = {
     "train": _cmd_train,
     "eval": _cmd_eval,
     "serve": _cmd_serve,
+    "drift": _cmd_drift,
 }
 
 

@@ -7,6 +7,7 @@ from repro.eval.algorithms import (
     arm_spec,
     make_algorithm,
 )
+from repro.eval.drift import DriftHarness, DriftResult, EpochMetrics
 from repro.eval.harness import EvaluationResult, evaluate_streaming, score_stream
 from repro.eval.metrics import (
     ConfusionCounts,
@@ -16,7 +17,7 @@ from repro.eval.metrics import (
     summarize_metrics,
 )
 from repro.eval.reporting import format_mean_min_max, format_series, format_table, metrics_row
-from repro.eval.roc import RocCurve, auc, roc_curve
+from repro.eval.roc import RocCurve, auc, finite_scores, roc_curve
 from repro.eval.timing import InferenceTiming, measure_batch_update, measure_inference_breakdown
 
 __all__ = [
@@ -25,6 +26,9 @@ __all__ = [
     "arm_accepts",
     "arm_spec",
     "ConfusionCounts",
+    "DriftHarness",
+    "DriftResult",
+    "EpochMetrics",
     "EvaluationResult",
     "InOutMetrics",
     "InferenceTiming",
@@ -32,6 +36,7 @@ __all__ = [
     "auc",
     "confusion_from_pairs",
     "evaluate_streaming",
+    "finite_scores",
     "format_mean_min_max",
     "format_series",
     "format_table",

@@ -10,7 +10,8 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Sequence
+from itertools import islice
+from typing import Iterable
 
 import numpy as np
 
@@ -18,7 +19,7 @@ from repro.core.protocols import GeofenceDecision, GeofenceModel
 from repro.core.records import LabeledRecord
 from repro.datasets.synthetic import GeofenceDataset
 from repro.eval.metrics import InOutMetrics, confusion_from_pairs, metrics_from_pairs
-from repro.eval.roc import RocCurve, roc_curve
+from repro.eval.roc import RocCurve, finite_scores, roc_curve
 
 __all__ = ["EvaluationResult", "evaluate_streaming", "score_stream"]
 
@@ -47,17 +48,20 @@ class EvaluationResult:
 
     def roc(self) -> RocCurve:
         """ROC over the streamed scores with 'outside' as positive."""
-        finite_cap = np.nanmax(np.where(np.isfinite(self.scores), self.scores, np.nan))
-        scores = np.where(np.isfinite(self.scores), self.scores, finite_cap + 1.0)
-        return roc_curve(scores, [not label for label in self.labels])
+        return roc_curve(finite_scores(self.scores),
+                         [not label for label in self.labels])
 
 
 def evaluate_streaming(model: GeofenceModel, dataset: GeofenceDataset,
                        max_test_records: int | None = None) -> EvaluationResult:
-    """Fit on ``dataset.train`` and stream ``dataset.test`` through the model."""
-    test: Sequence[LabeledRecord] = dataset.test
+    """Fit on ``dataset.train`` and stream ``dataset.test`` through the model.
+
+    ``dataset.test`` may be any iterable of labelled records — a list, a
+    generator, a file-backed stream — consumed exactly once, in order.
+    """
+    test: Iterable[LabeledRecord] = dataset.test
     if max_test_records is not None:
-        test = test[:max_test_records]
+        test = islice(test, max_test_records)
 
     t0 = time.perf_counter()
     model.fit(dataset.train)
@@ -77,7 +81,7 @@ def evaluate_streaming(model: GeofenceModel, dataset: GeofenceDataset,
                             meta=dict(dataset.meta))
 
 
-def score_stream(model: GeofenceModel, records: Sequence[LabeledRecord]) -> tuple[np.ndarray, np.ndarray]:
+def score_stream(model: GeofenceModel, records: Iterable[LabeledRecord]) -> tuple[np.ndarray, np.ndarray]:
     """Observe a labelled stream; returns (scores, outside_labels) for ROC."""
     scores = []
     outside = []
@@ -85,7 +89,4 @@ def score_stream(model: GeofenceModel, records: Sequence[LabeledRecord]) -> tupl
         decision = model.observe(item.record)
         scores.append(decision.score)
         outside.append(not item.inside)
-    scores = np.asarray(scores, dtype=np.float64)
-    finite = scores[np.isfinite(scores)]
-    cap = finite.max() + 1.0 if len(finite) else 1.0
-    return np.where(np.isfinite(scores), scores, cap), np.asarray(outside, dtype=bool)
+    return finite_scores(scores), np.asarray(outside, dtype=bool)

@@ -6,7 +6,27 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["RocCurve", "roc_curve", "auc"]
+__all__ = ["RocCurve", "roc_curve", "auc", "finite_scores"]
+
+
+def finite_scores(scores) -> np.ndarray:
+    """Map infinite scores into the finite range, rejecting NaN.
+
+    ``+inf`` ("could not be embedded": always flagged) lands just above
+    the largest finite score, ``-inf`` just below the smallest, so the
+    ranking a ROC integrates is preserved.  A stream with *no* finite
+    score collapses to a constant — a legitimate all-tied curve.  NaN is
+    a computation bug upstream and raises instead of silently sorting
+    to one end.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if np.isnan(scores).any():
+        raise ValueError("scores contain NaN; fix the scorer rather than ranking NaNs")
+    finite = scores[np.isfinite(scores)]
+    hi = float(finite.max()) + 1.0 if finite.size else 1.0
+    lo = float(finite.min()) - 1.0 if finite.size else 0.0
+    out = np.where(scores == np.inf, hi, scores)
+    return np.where(out == -np.inf, lo, out)
 
 
 @dataclass(frozen=True)
@@ -33,6 +53,10 @@ def roc_curve(scores, is_positive) -> RocCurve:
     labels = np.asarray(is_positive, dtype=bool)
     if scores.shape != labels.shape or scores.ndim != 1:
         raise ValueError("scores and labels must be matching 1-D arrays")
+    if scores.size == 0:
+        raise ValueError("ROC needs at least one sample per class, got an empty stream")
+    if np.isnan(scores).any():
+        raise ValueError("scores contain NaN; fix the scorer rather than ranking NaNs")
     if labels.all() or (~labels).all():
         raise ValueError("ROC needs both positive and negative samples")
     order = np.argsort(-scores, kind="stable")

@@ -25,12 +25,13 @@ from repro.pipeline.registry import (
     known_components,
     register_component,
 )
-from repro.pipeline.spec import SPEC_VERSION, ComponentSpec, PipelineSpec
+from repro.pipeline.spec import SPEC_VERSION, ComponentSpec, DriftSpec, PipelineSpec
 
 __all__ = [
     "COMPONENT_KINDS",
     "ComponentEntry",
     "ComponentSpec",
+    "DriftSpec",
     "PipelineSpec",
     "SPEC_VERSION",
     "UnknownComponentError",

@@ -17,7 +17,7 @@ from typing import Any, Mapping
 
 from repro.pipeline.registry import ComponentEntry, get_component
 
-__all__ = ["SPEC_VERSION", "ComponentSpec", "PipelineSpec"]
+__all__ = ["SPEC_VERSION", "ComponentSpec", "DriftSpec", "PipelineSpec"]
 
 SPEC_VERSION = 1
 
@@ -93,6 +93,65 @@ class ComponentSpec:
 
 
 @dataclass(frozen=True)
+class DriftSpec:
+    """Declarative temporal-dynamics workload attached to a pipeline spec.
+
+    Each schedule entry names a registered world-mutation schedule from
+    :data:`repro.rf.dynamics.SCHEDULES` (``ap-churn``, ``churn-shock``,
+    ``tx-power-drift``, ``mac-randomization``, ``transient-hotspots``,
+    ``device-gain-drift``) with its parameters.  A drift block describes
+    the *evaluation world's* evolution, not the model — building the
+    pipeline ignores it; the drift harness and ``python -m repro drift``
+    consume it via :meth:`build_timeline`.
+    """
+
+    num_epochs: int = 8
+    seed: int = 0
+    schedules: tuple = ()
+
+    def __post_init__(self):
+        if isinstance(self.num_epochs, bool) or not isinstance(self.num_epochs, int):
+            raise ValueError(f"num_epochs must be an integer, got {self.num_epochs!r}")
+        if self.num_epochs < 1:
+            raise ValueError(f"num_epochs must be >= 1, got {self.num_epochs}")
+        if isinstance(self.seed, bool) or not isinstance(self.seed, int):
+            raise ValueError(f"seed must be an integer, got {self.seed!r}")
+        schedules = tuple(
+            entry if isinstance(entry, ComponentSpec) else ComponentSpec.from_dict(entry)
+            for entry in self.schedules)
+        object.__setattr__(self, "schedules", schedules)
+
+    def validate(self) -> "DriftSpec":
+        """Check every schedule name and parameter set; returns self."""
+        self.build_schedules()
+        return self
+
+    def build_schedules(self) -> list:
+        from repro.rf.dynamics import build_schedule
+        return [build_schedule(entry.name, entry.params) for entry in self.schedules]
+
+    def build_timeline(self, scenario):
+        """The :class:`~repro.rf.dynamics.DynamicsTimeline` this block describes."""
+        from repro.rf.dynamics import DynamicsTimeline
+        return DynamicsTimeline(scenario, self.build_schedules(),
+                                num_epochs=self.num_epochs, seed=self.seed)
+
+    def to_dict(self) -> dict:
+        return {"num_epochs": self.num_epochs, "seed": self.seed,
+                "schedules": [entry.to_dict() for entry in self.schedules]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "DriftSpec":
+        if not isinstance(data, Mapping):
+            raise ValueError(f"drift spec must be a mapping, got {type(data).__name__}")
+        unknown = set(data) - {"num_epochs", "seed", "schedules"}
+        if unknown:
+            raise ValueError(f"drift spec has unknown keys {sorted(unknown)}")
+        return cls(num_epochs=data.get("num_epochs", 8), seed=data.get("seed", 0),
+                   schedules=tuple(data.get("schedules") or ()))
+
+
+@dataclass(frozen=True)
 class PipelineSpec:
     """Declarative description of one geofencing pipeline.
 
@@ -104,6 +163,11 @@ class PipelineSpec:
       :class:`~repro.core.gem.EmbeddingGeofencer` composition, with
       ``self_update``/``batch_update_size`` steering Algorithm 2's
       online model update.
+
+    Either shape may carry an optional ``drift`` block — a declarative
+    temporal-dynamics workload (:class:`DriftSpec`) for the drift
+    evaluation harness.  It does not affect what ``build_pipeline``
+    constructs.
     """
 
     embedder: ComponentSpec | None = None
@@ -111,8 +175,11 @@ class PipelineSpec:
     model: ComponentSpec | None = None
     self_update: bool = True
     batch_update_size: int = 1
+    drift: DriftSpec | None = None
 
     def __post_init__(self):
+        if self.drift is not None and not isinstance(self.drift, DriftSpec):
+            object.__setattr__(self, "drift", DriftSpec.from_dict(self.drift))
         if self.model is not None:
             if self.embedder is not None or self.detector is not None:
                 raise ValueError("a model spec cannot also name an embedder/detector; "
@@ -139,6 +206,8 @@ class PipelineSpec:
         online-update capability — the update would otherwise be
         silently skipped at serving time.
         """
+        if self.drift is not None:
+            self.drift.validate()
         if self.model is not None:
             self.model.resolve("model")
             return self
@@ -181,6 +250,8 @@ class PipelineSpec:
             out["detector"] = self.detector.to_dict()
             out["self_update"] = self.self_update
             out["batch_update_size"] = self.batch_update_size
+        if self.drift is not None:
+            out["drift"] = self.drift.to_dict()
         return out
 
     @classmethod
@@ -193,13 +264,15 @@ class PipelineSpec:
             raise ValueError(f"pipeline spec version {version!r} is not supported "
                              f"(this build reads version {SPEC_VERSION})")
         unknown = set(data) - {"embedder", "detector", "model",
-                               "self_update", "batch_update_size"}
+                               "self_update", "batch_update_size", "drift"}
         if unknown:
             raise ValueError(f"pipeline spec has unknown keys {sorted(unknown)}")
         kwargs: dict = {}
         for key in ("embedder", "detector", "model"):
             if data.get(key) is not None:
                 kwargs[key] = ComponentSpec.from_dict(data[key])
+        if data.get("drift") is not None:
+            kwargs["drift"] = DriftSpec.from_dict(data["drift"])
         if "self_update" in data:
             # No bool() coercion: a hand-edited "false" string would
             # silently flip self-update ON, drifting every decision.

@@ -8,6 +8,18 @@ frozen spatial shadowing and temporal fading.
 
 from repro.rf.ap import AccessPoint, Radio, make_mac
 from repro.rf.device import Device
+from repro.rf.dynamics import (
+    APChurn,
+    ChurnShock,
+    DeviceGainDrift,
+    DynamicsTimeline,
+    EpochWorld,
+    MacRandomization,
+    TransientHotspots,
+    TxPowerDrift,
+    build_schedule,
+    home_ap_ids,
+)
 from repro.rf.environment import Environment
 from repro.rf.geometry import Point, Polygon, Rect, Segment, distance, segments_intersect
 from repro.rf.markov import OnOffMarkov, apply_ap_onoff, markov_entropy_rate
@@ -18,13 +30,22 @@ from repro.rf.scenarios import SiteScenario, home_scenario, lab_scenario, multi_
 from repro.rf.trajectory import TimedPosition, linear_walk, perimeter_walk, random_waypoint_walk
 
 __all__ = [
+    "APChurn",
     "AccessPoint",
     "BandParams",
     "BRICK",
     "CONCRETE",
+    "ChurnShock",
     "Device",
+    "DeviceGainDrift",
     "DRYWALL",
+    "DynamicsTimeline",
     "Environment",
+    "EpochWorld",
+    "MacRandomization",
+    "TransientHotspots",
+    "TxPowerDrift",
+    "build_schedule",
     "FLOOR_SLAB",
     "GLASS",
     "Material",
@@ -43,6 +64,7 @@ __all__ = [
     "Wall",
     "apply_ap_onoff",
     "distance",
+    "home_ap_ids",
     "home_scenario",
     "lab_scenario",
     "linear_walk",

@@ -93,6 +93,108 @@ class TestTrainEvalServe:
                    "--events", str(events)) == 2
 
 
+class TestDrift:
+    def test_small_drift_run_emits_trajectories(self, tmp_path, capsys):
+        json_path = tmp_path / "drift.json"
+        assert run("drift", "--user", "1", "--epochs", "3", "--sessions", "2",
+                   "--session-s", "20", "--train-s", "60", "--shock-epoch", "1",
+                   "--quick", "--no-baseline", "--json", str(json_path)) == 0
+        payload = json.loads(json_path.read_text())
+        assert payload["shock_epoch"] == 1
+        assert [e["name"] for e in payload["workload"]["schedules"]] == \
+               ["ap-churn", "tx-power-drift", "device-gain-drift", "churn-shock"]
+        (online,) = payload["runs"]
+        assert online["label"] == "online"
+        assert [m["epoch"] for m in online["epochs"]] == [0, 1, 2]
+        for m in online["epochs"]:
+            assert 0.0 <= m["fpr"] <= 1.0
+            assert m["auc"] is None or 0.0 <= m["auc"] <= 1.0
+        assert "time-to-recovery (online)" in capsys.readouterr().out
+
+    def test_drift_run_is_deterministic(self, tmp_path, capsys):
+        args = ("drift", "--user", "1", "--epochs", "3", "--sessions", "2",
+                "--session-s", "20", "--train-s", "60", "--shock-epoch", "1",
+                "--quick", "--no-baseline")
+        assert run(*args, "--json", str(tmp_path / "a.json")) == 0
+        assert run(*args, "--json", str(tmp_path / "b.json")) == 0
+        assert json.loads((tmp_path / "a.json").read_text()) == \
+               json.loads((tmp_path / "b.json").read_text())
+
+    def test_drift_spec_file_with_drift_block(self, tmp_path, capsys):
+        spec = {
+            "spec_version": 1,
+            "model": {"name": "gem", "params": {
+                "bisage": {"dim": 8, "epochs": 1}}},
+            "drift": {"num_epochs": 3, "seed": 0, "schedules": [
+                {"name": "ap-churn", "params": {"rate": 0.2}},
+                {"name": "churn-shock", "params": {"epoch": 2, "fraction": 0.4}},
+            ]},
+        }
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(spec))
+        json_path = tmp_path / "out.json"
+        assert run("drift", "--spec", str(spec_path), "--user", "1",
+                   "--sessions", "2", "--session-s", "20", "--train-s", "60",
+                   "--no-baseline", "--json", str(json_path)) == 0
+        payload = json.loads(json_path.read_text())
+        # The spec's drift block wins over the CLI flags.
+        assert payload["shock_epoch"] == 2
+        assert len(payload["runs"][0]["epochs"]) == 3
+
+    def test_drift_bad_shock_epoch(self, capsys):
+        assert run("drift", "--epochs", "3", "--shock-epoch", "5") == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_drift_spec_missing_schedule_param_exits_two(self, tmp_path, capsys):
+        """Operator mistakes exit 2 with one stderr line, never a traceback."""
+        spec = {"spec_version": 1, "model": {"name": "gem", "params": {}},
+                "drift": {"num_epochs": 3, "schedules": [
+                    {"name": "churn-shock", "params": {"fraction": 0.4}}]}}
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(spec))
+        assert run("drift", "--spec", str(spec_path), "--user", "1",
+                   "--no-baseline") == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "churn-shock" in err
+
+    def test_drift_spec_without_shock_reports_no_recovery(self, tmp_path, capsys):
+        spec = {"spec_version": 1,
+                "model": {"name": "gem", "params": {"bisage": {"dim": 8, "epochs": 1}}},
+                "drift": {"num_epochs": 2, "schedules": [
+                    {"name": "ap-churn", "params": {"rate": 0.2}}]}}
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(spec))
+        json_path = tmp_path / "out.json"
+        assert run("drift", "--spec", str(spec_path), "--user", "1",
+                   "--sessions", "2", "--session-s", "20", "--train-s", "60",
+                   "--no-baseline", "--json", str(json_path)) == 0
+        out = capsys.readouterr().out
+        assert "time-to-recovery" not in out
+        payload = json.loads(json_path.read_text())
+        # No churn-shock schedule: nothing to fabricate a recovery from.
+        assert payload["shock_epoch"] is None
+        assert payload["recovery_epochs"] == {}
+        assert len(payload["runs"][0]["epochs"]) == 2
+
+    @pytest.mark.slow
+    def test_quick_drift_shows_recovery_against_static_baseline(self, tmp_path, capsys):
+        """The acceptance shape: online GEM recovers from the churn shock,
+        the frozen static snapshot stays degraded."""
+        json_path = tmp_path / "drift.json"
+        assert run("drift", "--quick", "--fleet", "--json", str(json_path)) == 0
+        payload = json.loads(json_path.read_text())
+        runs = {r["label"]: r for r in payload["runs"]}
+        assert set(runs) == {"online", "static", "fleet"}
+        assert payload["recovery_epochs"]["online"] is not None
+        last_on = runs["online"]["epochs"][-1]
+        last_off = runs["static"]["epochs"][-1]
+        assert last_on.get("auc") >= last_off.get("auc") + 0.02
+        assert last_off["fpr"] >= last_on["fpr"] + 0.3
+        # The fleet replay (forced evict/reload mid-stream) matches the
+        # plain online replay bit for bit.
+        assert runs["fleet"]["epochs"] == runs["online"]["epochs"]
+
+
 class TestErrorHandling:
     """Operator mistakes exit 2 with one stderr line, never a traceback."""
 

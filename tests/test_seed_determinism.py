@@ -1,0 +1,96 @@
+"""Seed-determinism properties: equal seeds reproduce bit-identical
+worlds and timelines; different seeds produce different ones.
+
+Parametrized over every scenario builder in ``rf/scenarios.py`` (plus
+the Table-II user worlds) and every registered dynamics schedule.
+Reproducibility here is what makes every benchmark and drift trajectory
+in the repo a pure function of its seed.
+"""
+
+import pytest
+
+from repro.datasets.users import user_scenario
+from repro.rf.dynamics import SCHEDULES, DynamicsTimeline, build_schedule
+from repro.rf.scenarios import home_scenario, lab_scenario, multi_floor_building
+
+SCENARIO_BUILDERS = {
+    "home-attached": lambda seed: home_scenario(area_m2=50.0, seed=seed),
+    "home-detached": lambda seed: home_scenario(area_m2=160.0, detached=True, seed=seed),
+    "lab": lambda seed: lab_scenario(seed=seed, transient_aps=3),
+    "multi-floor": lambda seed: multi_floor_building(num_floors=3, aps_per_floor=4,
+                                                     geofence_floor=1, seed=seed),
+    "user-world": lambda seed: user_scenario(3, seed=seed),
+}
+
+# Parameters that make every schedule visibly stochastic, so a seed
+# change must show up in the fingerprint.
+SCHEDULE_PARAMS = {
+    "ap-churn": {"rate": 0.5},
+    "churn-shock": {"epoch": 1, "fraction": 0.5},
+    "tx-power-drift": {"sigma_db": 1.0},
+    "mac-randomization": {"cohort_fraction": 0.5, "period": 1},
+    "transient-hotspots": {"max_active": 5},
+    "device-gain-drift": {"sigma_db": 1.0},
+}
+
+
+def scenario_fingerprint(scenario) -> tuple:
+    environment = scenario.environment
+    return (
+        scenario.name,
+        scenario.area_m2,
+        tuple((ap.ap_id, ap.position, ap.floor, ap.macs,
+               tuple((r.mac, r.band, r.tx_power_dbm) for r in ap.radios))
+              for ap in environment.aps),
+        tuple((wall.segment.a, wall.segment.b, wall.material.name, wall.floor)
+              for wall in environment.walls),
+        environment.geofence_floors,
+    )
+
+
+def timeline_fingerprint(timeline) -> tuple:
+    return tuple(
+        (world.epoch, world.device_gain_db, world.events,
+         tuple((ap.ap_id, ap.position, ap.floor, ap.macs,
+                tuple(r.tx_power_dbm for r in ap.radios))
+               for ap in world.environment.aps))
+        for world in timeline)
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIO_BUILDERS))
+class TestScenarioBuilders:
+    def test_equal_seeds_bit_identical(self, name):
+        build = SCENARIO_BUILDERS[name]
+        assert scenario_fingerprint(build(7)) == scenario_fingerprint(build(7))
+
+    def test_different_seeds_differ(self, name):
+        build = SCENARIO_BUILDERS[name]
+        assert scenario_fingerprint(build(7)) != scenario_fingerprint(build(8))
+
+
+def make_timeline(schedule_name: str, seed: int) -> DynamicsTimeline:
+    scenario = lab_scenario(seed=0, lab_aps=2, corridor_aps=2, building_aps=4)
+    schedule = build_schedule(schedule_name, SCHEDULE_PARAMS[schedule_name])
+    return DynamicsTimeline(scenario, [schedule], num_epochs=4, seed=seed)
+
+
+@pytest.mark.parametrize("name", sorted(SCHEDULES))
+class TestDynamicsSchedules:
+    def test_equal_seeds_bit_identical(self, name):
+        assert timeline_fingerprint(make_timeline(name, 5)) == \
+               timeline_fingerprint(make_timeline(name, 5))
+
+    def test_different_seeds_differ(self, name):
+        assert timeline_fingerprint(make_timeline(name, 5)) != \
+               timeline_fingerprint(make_timeline(name, 6))
+
+
+def test_composed_timeline_deterministic():
+    scenario = lab_scenario(seed=2, lab_aps=2, corridor_aps=2, building_aps=4)
+    schedules = [build_schedule(name, SCHEDULE_PARAMS[name])
+                 for name in sorted(SCHEDULES)]
+    one = DynamicsTimeline(scenario, schedules, num_epochs=5, seed=11)
+    two = DynamicsTimeline(
+        lab_scenario(seed=2, lab_aps=2, corridor_aps=2, building_aps=4),
+        schedules, num_epochs=5, seed=11)
+    assert timeline_fingerprint(one) == timeline_fingerprint(two)

@@ -1,0 +1,127 @@
+"""Crash consistency: torn writes and the reader retry path.
+
+The checkpoint format promises that a crash at *any* point of a save
+leaves the previous complete checkpoint loadable — and that a reader
+racing a concurrent save retries against the fresh manifest instead of
+failing on the garbage-collected arrays file.  These tests simulate the
+kill points and assert zero score drift on what gets restored.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import synthetic_records
+
+import repro.serve.checkpoint as cp
+from repro.core.config import GEMConfig
+from repro.core.gem import GEM
+from repro.embedding.bisage import BiSAGEConfig
+from repro.serve.checkpoint import CheckpointError, load_checkpoint, save_checkpoint
+
+SMALL = GEMConfig(bisage=BiSAGEConfig(dim=8, epochs=1))
+
+
+@pytest.fixture
+def fitted_model():
+    return GEM(SMALL).fit(synthetic_records(25, seed=0))
+
+
+def probe_scores(model) -> list[float]:
+    return [model.score(item.record if hasattr(item, "record") else item)
+            for item in synthetic_records(8, seed=99)]
+
+
+def advance(model) -> None:
+    """Mutate the model so the next save differs from the last."""
+    for record in synthetic_records(10, seed=5, center=0.5):
+        model.observe(record)
+
+
+def crash_before_manifest(monkeypatch):
+    """Make the next save die between the arrays file and the commit."""
+    real = cp._replace_into
+
+    def dying(directory, name, writer):
+        if name == cp.MANIFEST_NAME:
+            raise RuntimeError("simulated power loss before manifest commit")
+        real(directory, name, writer)
+
+    monkeypatch.setattr(cp, "_replace_into", dying)
+
+
+class TestTornWrite:
+    def test_kill_between_arrays_and_manifest_restores_previous(
+            self, tmp_path, fitted_model, monkeypatch):
+        save_checkpoint(fitted_model, tmp_path)
+        expected = probe_scores(load_checkpoint(tmp_path))
+
+        advance(fitted_model)
+        crash_before_manifest(monkeypatch)
+        with pytest.raises(RuntimeError, match="power loss"):
+            save_checkpoint(fitted_model, tmp_path)
+        monkeypatch.undo()
+
+        # The orphan arrays file of the dead save is present, but the
+        # committed manifest still names the old one: the reader must
+        # restore the previous checkpoint with zero score drift.
+        arrays = list(tmp_path.glob(f"{cp.ARRAYS_PREFIX}*{cp.ARRAYS_SUFFIX}"))
+        assert len(arrays) == 2
+        assert probe_scores(load_checkpoint(tmp_path)) == expected
+
+    def test_next_save_cleans_up_the_orphan(self, tmp_path, fitted_model, monkeypatch):
+        save_checkpoint(fitted_model, tmp_path)
+        advance(fitted_model)
+        crash_before_manifest(monkeypatch)
+        with pytest.raises(RuntimeError):
+            save_checkpoint(fitted_model, tmp_path)
+        monkeypatch.undo()
+
+        save_checkpoint(fitted_model, tmp_path)
+        arrays = list(tmp_path.glob(f"{cp.ARRAYS_PREFIX}*{cp.ARRAYS_SUFFIX}"))
+        assert len(arrays) == 1
+        manifest = cp.read_manifest(tmp_path)
+        assert manifest["arrays_file"] == arrays[0].name
+
+    def test_manually_mixed_pair_rejected_as_torn(self, tmp_path, fitted_model):
+        save_checkpoint(fitted_model, tmp_path)
+        old_arrays = next(tmp_path.glob(f"{cp.ARRAYS_PREFIX}*{cp.ARRAYS_SUFFIX}"))
+        stale = old_arrays.read_bytes()
+        advance(fitted_model)
+        save_checkpoint(fitted_model, tmp_path)
+        new_arrays = next(tmp_path.glob(f"{cp.ARRAYS_PREFIX}*{cp.ARRAYS_SUFFIX}"))
+        # Splice the *old* arrays bytes under the *new* committed name:
+        # key sets match (same model structure), only the nonce can tell.
+        new_arrays.write_bytes(stale)
+        with pytest.raises(CheckpointError, match="torn"):
+            load_checkpoint(tmp_path)
+
+
+class TestReaderRetry:
+    def test_retry_after_concurrent_save_gc(self, tmp_path, fitted_model, monkeypatch):
+        """A reader holding a stale manifest must retry and load the new save."""
+        save_checkpoint(fitted_model, tmp_path)
+        stale_manifest = cp.read_manifest(tmp_path)
+
+        advance(fitted_model)
+        save_checkpoint(fitted_model, tmp_path)  # GCs the old arrays file
+        expected = probe_scores(load_checkpoint(tmp_path))
+
+        real_read = cp.read_manifest
+        served_stale = []
+
+        def first_read_is_stale(directory):
+            if not served_stale:
+                served_stale.append(True)
+                return dict(stale_manifest)
+            return real_read(directory)
+
+        monkeypatch.setattr(cp, "read_manifest", first_read_is_stale)
+        model = load_checkpoint(tmp_path)
+        assert served_stale  # the stale manifest was actually served first
+        assert probe_scores(model) == expected
+
+    def test_truly_missing_arrays_still_error(self, tmp_path, fitted_model):
+        save_checkpoint(fitted_model, tmp_path)
+        next(tmp_path.glob(f"{cp.ARRAYS_PREFIX}*{cp.ARRAYS_SUFFIX}")).unlink()
+        with pytest.raises(CheckpointError, match="missing its arrays file"):
+            load_checkpoint(tmp_path)
