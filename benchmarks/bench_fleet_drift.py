@@ -1,0 +1,183 @@
+"""Multi-tenant drift at scale: hundreds of tenants, one LRU budget.
+
+`bench_drift.py` asks "does one tenant survive a drifting world?"; this
+benchmark asks what the *fleet* pays for it.  Every tenant is an
+independent premises — its own scenario, its own churn timeline, its own
+observation stream — served through one :class:`GeofenceFleet` whose
+capacity is a small fraction of the tenant count, with a
+:class:`FleetController` running a scheduled coordinated-refresh policy
+on every tenant.  Interleaved round-robin traffic forces a load +
+evict/write-back cycle on nearly every touch, which is exactly the
+worst case for checkpoint I/O.
+
+The headline number is **write-back amplification**: checkpoint saves
+during streaming divided by the minimum a lossless fleet needs (one
+final write per tenant).  An amplification of A means every tenant's
+full state hit the registry A times over; it scales with
+``touches per tenant`` (epochs x chunks), not with traffic volume,
+because the LRU makes every touch of a non-resident tenant a full
+reload/write-back round trip.
+
+Runs standalone (CI smoke: ``python benchmarks/bench_fleet_drift.py
+--quick``) and writes machine-readable results next to the other
+benches; ``REPRO_BENCH_FULL=1`` scales the fleet up.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from bench_common import write_json_result, write_result  # noqa: E402
+
+from repro.core.config import GEMConfig  # noqa: E402
+from repro.embedding.bisage import BiSAGEConfig  # noqa: E402
+from repro.eval.drift import DriftHarness  # noqa: E402
+from repro.eval.reporting import format_table  # noqa: E402
+from repro.pipeline import ComponentSpec, PipelineSpec  # noqa: E402
+from repro.rf.dynamics import APChurn, ChurnShock, DynamicsTimeline  # noqa: E402
+from repro.rf.scenarios import lab_scenario  # noqa: E402
+from repro.serve import FleetController, GeofenceFleet, MaintenancePolicy  # noqa: E402
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+def parse_args(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Fleet-wide drift benchmark (write-back amplification)")
+    parser.add_argument("--tenants", type=int, default=None,
+                        help="tenant count (default 120; --quick 12; FULL 240)")
+    parser.add_argument("--epochs", type=int, default=None,
+                        help="drift epochs per tenant (default 4; --quick 2)")
+    parser.add_argument("--capacity", type=int, default=None,
+                        help="fleet LRU budget (default tenants // 8, min 2)")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke scale: a dozen tenants, two epochs")
+    parser.add_argument("--no-maintain", action="store_true",
+                        help="skip the per-tenant coordinated-refresh policy")
+    parser.add_argument("--out", help="also write the JSON payload to this path")
+    return parser.parse_args(argv)
+
+
+def tenant_spec() -> PipelineSpec:
+    # Deliberately small: this bench measures the serving and
+    # maintenance substrate, not embedding quality.
+    config = GEMConfig(bisage=BiSAGEConfig(dim=8, epochs=1))
+    return PipelineSpec(model=ComponentSpec("gem", config.to_dict()))
+
+
+def tenant_harness(index: int, epochs: int) -> DriftHarness:
+    """An independent world + timeline + stream per tenant."""
+    scenario = lab_scenario(seed=10_000 + index, lab_aps=2, corridor_aps=2,
+                            building_aps=4)
+    schedules = [APChurn(rate=0.08),
+                 ChurnShock(epoch=max(epochs // 2, 1), fraction=0.3)]
+    timeline = DynamicsTimeline(scenario, schedules, num_epochs=epochs,
+                                seed=index)
+    return DriftHarness(timeline, seed=index, train_duration_s=40.0,
+                        sessions_per_epoch=2, session_duration_s=10.0)
+
+
+def directory_bytes(root: Path) -> int:
+    return sum(p.stat().st_size for p in root.rglob("*") if p.is_file())
+
+
+def run(args) -> dict:
+    tenants = args.tenants if args.tenants is not None else \
+        (12 if args.quick else 240 if FULL else 120)
+    epochs = args.epochs if args.epochs is not None else (2 if args.quick else 4)
+    capacity = args.capacity if args.capacity is not None else max(tenants // 8, 2)
+    spec = tenant_spec()
+
+    harnesses = {f"tenant-{i:04d}": tenant_harness(i, epochs)
+                 for i in range(tenants)}
+    with tempfile.TemporaryDirectory() as root:
+        fleet = GeofenceFleet(root, capacity=capacity, reservoir_size=64)
+        per_epoch = len(next(iter(harnesses.values())).epoch_records(0))
+        policy = MaintenancePolicy() if args.no_maintain else MaintenancePolicy(
+            check_every=max(per_epoch // 2, 1), refresh_every=per_epoch)
+        controller = FleetController(fleet, policy)
+
+        t0 = time.perf_counter()
+        for tenant_id, harness in harnesses.items():
+            fleet.provision(tenant_id, harness.training_records(), spec=spec)
+        provision_seconds = time.perf_counter() - t0
+        saves_after_provision = fleet.telemetry.totals().saves
+
+        # Interleaved round-robin: every tenant is touched twice per
+        # epoch, and with capacity << tenants each touch is a cold
+        # reload + an eventual dirty write-back.
+        observations = 0
+        t0 = time.perf_counter()
+        for epoch in range(epochs):
+            for half in range(2):
+                for tenant_id, harness in harnesses.items():
+                    records = harness.epoch_records(epoch)
+                    midpoint = len(records) // 2
+                    chunk = records[:midpoint] if half == 0 else records[midpoint:]
+                    for item in chunk:
+                        decision = fleet.observe(tenant_id, item.record)
+                        controller.step(tenant_id, decision)
+                        observations += 1
+        stream_seconds = time.perf_counter() - t0
+        fleet.close()
+
+        totals = fleet.telemetry.totals()
+        streaming_saves = totals.saves - saves_after_provision
+        registry_bytes = directory_bytes(Path(root))
+
+    # Minimum lossless write-back: one final save per tenant.
+    amplification = streaming_saves / tenants
+    payload = {
+        "tenants": tenants,
+        "epochs": epochs,
+        "capacity": capacity,
+        "observations": observations,
+        "throughput_obs_per_s": observations / stream_seconds,
+        "provision_seconds": provision_seconds,
+        "stream_seconds": stream_seconds,
+        "loads": totals.loads,
+        "streaming_saves": streaming_saves,
+        "write_back_amplification": amplification,
+        "saves_per_1k_observations": 1000.0 * streaming_saves / observations,
+        "refreshes": totals.refreshes,
+        "refresh_seconds": totals.refresh_seconds,
+        "evictions": totals.evictions,
+        "registry_bytes_final": registry_bytes,
+        "approx_bytes_written": int(registry_bytes / tenants * streaming_saves),
+        "maintained": not args.no_maintain,
+    }
+    return payload
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    payload = run(args)
+    rows = [[key, f"{value:.2f}" if isinstance(value, float) else str(value)]
+            for key, value in payload.items()]
+    write_result("fleet_drift", format_table(
+        ["metric", "value"], rows,
+        title=f"Fleet drift: {payload['tenants']} tenants, LRU budget "
+              f"{payload['capacity']}, {payload['epochs']} epochs"))
+    write_json_result("fleet_drift", payload)
+    if args.out:
+        Path(args.out).write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+        print(f"payload written to {args.out}")
+    # Smoke-level invariants: the fleet must have actually thrashed (the
+    # point of the bench) and served every stream it was given.
+    assert payload["write_back_amplification"] >= 1.0
+    assert payload["loads"] >= payload["tenants"]
+    if payload["maintained"]:
+        assert payload["refreshes"] > 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

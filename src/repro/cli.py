@@ -19,6 +19,11 @@ Subcommands
 ``serve``
     Replay a JSONL event stream through a multi-tenant fleet rooted at
     a checkpoint registry; print one decision JSON per line.
+``maintain``
+    Control-plane maintenance over a checkpoint registry: coordinated
+    refresh (embedding-cache rebuild + detector refit on each tenant's
+    persisted recent-inlier reservoir) or full re-provision, per tenant,
+    written back atomically.
 ``drift``
     Evolve a synthetic world over simulated days (AP churn, a one-shot
     churn shock, power/device drift) and replay the multi-epoch stream
@@ -99,6 +104,10 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fleet", action="store_true",
                    help="also replay through a GeofenceFleet tenant with forced "
                         "mid-stream evict/reload")
+    p.add_argument("--maintain", type=int, metavar="N", default=0,
+                   help="also replay through a fleet tenant whose controller "
+                        "runs a coordinated refresh (cache rebuild + detector "
+                        "refit on the inlier reservoir) every N observations")
     p.add_argument("--quick", action="store_true",
                    help="shrink the model's hyper-parameters (shorter GNN "
                         "training; the world and epochs are unchanged — "
@@ -111,6 +120,20 @@ def _build_parser() -> argparse.ArgumentParser:
                    help='JSONL events: {"tenant": ..., "rss": {...}, "t": ...}')
     p.add_argument("--capacity", type=int, default=8)
     p.add_argument("-o", "--out", help="write decisions to this file instead of stdout")
+
+    p = sub.add_parser("maintain",
+                       help="coordinated refresh / re-provision of registry tenants")
+    p.add_argument("--registry", required=True, help="tenant registry root")
+    p.add_argument("--tenants", default="all",
+                   help="comma-separated tenant ids, or 'all'")
+    p.add_argument("--action", choices=["refresh", "reprovision"], default="refresh",
+                   help="refresh: rebuild embedding caches + refit the detector "
+                        "on the persisted recent-inlier reservoir (default); "
+                        "reprovision: full refit from the reservoir")
+    p.add_argument("--dry-run", action="store_true",
+                   help="report each tenant's arm, refresh capability and "
+                        "reservoir size without touching any checkpoint")
+    p.add_argument("--json", dest="json_out", help="also write the report to this JSON file")
     return parser
 
 
@@ -164,9 +187,10 @@ def _cmd_components(args) -> int:
     from repro.eval.reporting import format_table
     from repro.pipeline import known_components
     rows = [[e.kind, e.name, "yes" if e.supports_update else "no",
-             "yes" if e.supports_state_dict else "no", e.description]
+             "yes" if e.supports_state_dict else "no",
+             "yes" if e.supports_refresh else "no", e.description]
             for e in known_components()]
-    print(format_table(["kind", "name", "update", "state_dict", "description"],
+    print(format_table(["kind", "name", "update", "state_dict", "refresh", "description"],
                        rows, title="Registered pipeline components"))
     return 0
 
@@ -184,7 +208,7 @@ def _cmd_spec(args) -> int:
 
 def _cmd_train(args) -> int:
     from repro.pipeline import build_pipeline
-    from repro.serve import ModelRegistry, save_checkpoint
+    from repro.serve import save_checkpoint
     if bool(args.registry) != bool(args.tenant):
         print("error: --registry and --tenant go together", file=sys.stderr)
         return 2
@@ -193,15 +217,23 @@ def _cmd_train(args) -> int:
         return 2
     spec = _load_spec(args)
     records = _training_records(args)
-    pipeline = build_pipeline(spec)
-    pipeline.fit(records)
-    print(f"fitted {spec.describe()} on {len(records)} records")
+    if args.registry:
+        # Provision through a real fleet rather than re-implementing its
+        # checkpoint shape: the tenant gets the identical manifest — spec
+        # embedded, training records pinned as the reservoir anchor — so
+        # it is immediately `maintain`-able.
+        from repro.serve import GeofenceFleet
+        with GeofenceFleet(args.registry, capacity=1) as fleet:
+            pipeline = fleet.provision(args.tenant, records, spec=spec)
+        print(f"fitted {spec.describe()} on {len(records)} records")
+        print(f"tenant {args.tenant!r} saved under {args.registry}")
+    else:
+        pipeline = build_pipeline(spec)
+        pipeline.fit(records)
+        print(f"fitted {spec.describe()} on {len(records)} records")
     if args.out:
         path = save_checkpoint(pipeline, args.out)
         print(f"checkpoint written to {path}")
-    if args.registry:
-        ModelRegistry(args.registry).save(args.tenant, pipeline)
-        print(f"tenant {args.tenant!r} saved under {args.registry}")
     return 0
 
 
@@ -266,6 +298,11 @@ def _cmd_drift(args) -> int:
             gem_config = GEMConfig(bisage=BiSAGEConfig(epochs=2))
         spec = arm_spec(args.arm, seed=args.seed, dim=32,
                         gem_config=gem_config, strict=False)
+    if args.maintain and not spec.supports_refresh():
+        print(f"error: --maintain needs a refresh-capable arm, but "
+              f"{spec.describe()} is not (see `components` for capabilities)",
+              file=sys.stderr)
+        return 2
     scenario = user_scenario(args.user)
     drift = spec.drift
     if drift is None:
@@ -308,6 +345,16 @@ def _cmd_drift(args) -> int:
             with GeofenceFleet(root, capacity=1) as fleet:
                 fleet.provision("drift-tenant", harness.training_records(), spec=spec)
                 runs.append(harness.run_fleet(fleet, "drift-tenant", label="fleet"))
+    if args.maintain:
+        from repro.serve import FleetController, GeofenceFleet, MaintenancePolicy
+        policy = MaintenancePolicy(check_every=args.maintain,
+                                   refresh_every=args.maintain)
+        with tempfile.TemporaryDirectory() as root:
+            with GeofenceFleet(root, capacity=1) as fleet:
+                fleet.provision("maintained", harness.training_records(), spec=spec)
+                controller = FleetController(fleet, policy)
+                runs.append(harness.run_fleet(fleet, "maintained", label="refresh",
+                                              controller=controller))
 
     headers = ["epoch", "records"]
     for run in runs:
@@ -382,12 +429,81 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_maintain(args) -> int:
+    from repro.eval.reporting import format_table
+    from repro.serve import (RESERVOIR_METADATA_KEY, GeofenceFleet,
+                             ModelRegistry)
+
+    registry = ModelRegistry(args.registry)
+    known = registry.tenants()
+    if args.tenants.strip().lower() == "all":
+        targets = known
+    else:
+        targets = [t.strip() for t in args.tenants.split(",") if t.strip()]
+        missing = [t for t in targets if t not in known]
+        if missing:
+            print(f"error: no checkpoint for tenant(s) {missing} under "
+                  f"{registry.root}", file=sys.stderr)
+            return 2
+    if not targets:
+        print(f"error: no tenants under {registry.root}", file=sys.stderr)
+        return 2
+
+    rows, payload = [], {}
+    if args.dry_run:
+        from repro.serve.checkpoint import load_state, spec_from_manifest
+        for tenant_id in targets:
+            # load_state + spec_from_manifest instead of reading the
+            # manifest key directly: format-1 checkpoints (no embedded
+            # spec) migrate through the same path the loader uses.
+            state, manifest = load_state(registry.path_for(tenant_id))
+            spec = spec_from_manifest(manifest, state)
+            reservoir = manifest.get("metadata", {}).get(RESERVOIR_METADATA_KEY) or {}
+            size = len(reservoir.get("anchor", ())) + len(reservoir.get("recent", ()))
+            capable = spec.supports_refresh()
+            rows.append([tenant_id, spec.describe(),
+                         "yes" if capable else "no", str(size)])
+            payload[tenant_id] = {"arm": spec.describe(),
+                                  "supports_refresh": capable,
+                                  "reservoir": size}
+        print(format_table(["tenant", "arm", "refresh?", "reservoir"],
+                           rows, title=f"maintain --dry-run over {registry.root}"))
+    else:
+        import time as _time
+        with GeofenceFleet(registry, capacity=1) as fleet:
+            for tenant_id in targets:
+                start = _time.perf_counter()
+                try:
+                    if args.action == "refresh":
+                        absorbed = fleet.refresh(tenant_id)
+                        outcome = f"refit on {absorbed} inlier(s)"
+                    else:
+                        model = fleet.reprovision(tenant_id)
+                        outcome = f"refitted {type(model).__name__} from reservoir"
+                    status = args.action
+                except (TypeError, ValueError) as error:
+                    status, outcome = "skipped", str(error)
+                seconds = _time.perf_counter() - start
+                # Write back (and free the slot) before the next tenant.
+                fleet.evict(tenant_id)
+                rows.append([tenant_id, status, f"{seconds:.2f}", outcome[:60]])
+                payload[tenant_id] = {"status": status, "seconds": seconds,
+                                      "outcome": outcome}
+        print(format_table(["tenant", "status", "seconds", "outcome"], rows,
+                           title=f"maintain --action {args.action} over {registry.root}"))
+    if args.json_out:
+        Path(args.json_out).write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+        print(f"report written to {args.json_out}")
+    return 0
+
+
 _COMMANDS = {
     "components": _cmd_components,
     "spec": _cmd_spec,
     "train": _cmd_train,
     "eval": _cmd_eval,
     "serve": _cmd_serve,
+    "maintain": _cmd_maintain,
     "drift": _cmd_drift,
 }
 

@@ -9,6 +9,7 @@ imputation, behind one interface.
 
 from __future__ import annotations
 
+import warnings
 from typing import Sequence
 
 import numpy as np
@@ -83,11 +84,35 @@ class _GraphEmbedderBase:
             embedding = self.model.embed_record_node(index) if known else None
             self._observed_since_refresh += 1
             if self.refresh_every and self._observed_since_refresh >= self.refresh_every:
+                # The raw auto-refresh moves the embedding function under
+                # whatever detector sits downstream — the exact footgun
+                # the coordinated refresh() path exists to fix.
+                warnings.warn(
+                    "refresh_every fired: the embedding cache was rebuilt without "
+                    "refitting the downstream detector, which shifts the score "
+                    "scale it was calibrated on; use the coordinated "
+                    "EmbeddingGeofencer.refresh(records) (or a fleet "
+                    "MaintenancePolicy) instead", DeprecationWarning, stacklevel=3)
                 self.model.refresh_cache()
                 self._observed_since_refresh = 0
         else:
             embedding = self.model.embed_readings(record.readings) if known else None
         return embedding
+
+    def refresh_cache(self) -> None:
+        """Rebuild per-layer caches over the grown graph, coordinated flavour.
+
+        Two deliberate differences from the raw ``refresh_every`` path:
+        the trained aggregation universe is preserved (``admit_new_macs=
+        False`` — admitting post-training MACs under weights that never
+        saw them measurably collapses in/out separation), and the caller
+        must refit the downstream detector on re-embedded data in the
+        same operation, because every cached embedding still moves (see
+        :meth:`repro.core.gem.EmbeddingGeofencer.refresh`).
+        """
+        self._require_fitted()
+        self.model.refresh_cache(admit_new_macs=False)
+        self._observed_since_refresh = 0
 
     def _require_fitted(self) -> None:
         if self.model is None or self.graph is None:

@@ -143,6 +143,67 @@ class EmbeddingGeofencer:
         return len(self._update_buffer)
 
     # ------------------------------------------------------------------
+    # Coordinated refresh (control plane)
+    # ------------------------------------------------------------------
+    def supports_refresh(self) -> bool:
+        """True when both halves of a coordinated refresh are available:
+        an embedder with ``refresh_cache`` and a detector with ``refit``."""
+        return (hasattr(self.embedder, "refresh_cache")
+                and hasattr(self.detector, "refit"))
+
+    def refresh(self, records: Sequence[SignalRecord]) -> int:
+        """Coordinated refresh: rebuild embedding caches *and* refit the
+        detector on re-embedded recent inliers, as one atomic operation.
+
+        This is the drift-recovery primitive the raw ``refresh_cache_every``
+        flag got wrong twice over: rebuilding the caches alone moves the
+        embedding function under a detector calibrated to the old one,
+        and admitting never-trained MACs into aggregation collapses
+        separation outright.  Here the refreshed embedder recomputes its
+        caches over the grown graph *within the trained MAC universe*
+        (new MACs join at re-provision, when the weights retrain), then
+        re-embeds ``records`` (recent known-inlier records, e.g. a fleet
+        reservoir anchored on the training set) and the detector is
+        refit on exactly those embeddings — score scale and embedding
+        function move together.  Returns the number of records the
+        detector was refit on.
+
+        Atomic: all work happens on copies; the live pipeline is only
+        swapped at the end, so any mid-refresh failure (nothing
+        embeddable, detector refit error) leaves it serving the
+        pre-refresh state.  The self-update buffer is cleared — buffered
+        embeddings were produced by the old embedding function.
+        """
+        if not self._fitted:
+            raise RuntimeError("pipeline has not been fitted; call fit first")
+        if not self.supports_refresh():
+            missing = ("refresh_cache" if not hasattr(self.embedder, "refresh_cache")
+                       else "refit")
+            part = self.embedder if missing == "refresh_cache" else self.detector
+            raise TypeError(f"{type(part).__name__} has no {missing}; this pipeline "
+                            "does not support coordinated refresh")
+        records = [r for r in records if r.readings]
+        if not records:
+            raise ValueError("coordinated refresh needs at least one non-empty "
+                             "recent-inlier record to refit the detector on")
+        embedder = copy.deepcopy(self.embedder)
+        embedder.refresh_cache()
+        rows = [embedder.embed(record, attach=False) for record in records]
+        rows = [row for row in rows if row is not None]
+        if not rows:
+            raise ValueError("coordinated refresh aborted: none of the "
+                             f"{len(records)} recent-inlier records are embeddable "
+                             "after the cache rebuild; the pipeline keeps serving "
+                             "its pre-refresh state")
+        detector = copy.deepcopy(self.detector)
+        detector.refit(np.vstack(rows))
+        # Commit point: nothing above mutated self.
+        self.embedder = embedder
+        self.detector = detector
+        self._update_buffer = []
+        return len(rows)
+
+    # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
     def state_dict(self) -> dict:

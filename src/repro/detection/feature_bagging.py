@@ -29,6 +29,7 @@ class FeatureBagging:
         self.n_estimators = n_estimators
         self.n_neighbors = n_neighbors
         self.contamination = contamination
+        self.seed = seed
         self._rng = as_rng(seed)
         self._members: list[tuple[np.ndarray, LocalOutlierFactor]] = []
         self.threshold_: float | None = None
@@ -65,6 +66,17 @@ class FeatureBagging:
 
     def is_outlier(self, x: np.ndarray) -> np.ndarray:
         return self.decision_scores(x) > self.threshold_
+
+    def refit(self, x: np.ndarray) -> "FeatureBagging":
+        """Re-baseline on fresh embeddings (coordinated refresh).
+
+        The ensemble RNG is re-derived from the constructor seed so a
+        refit is a pure function of ``(seed, x)`` — two same-seed
+        ensembles refit on the same embeddings draw identical feature
+        subsets.
+        """
+        self._rng = as_rng(self.seed)
+        return self.fit(x)
 
     # ------------------------------------------------------------------
     # Persistence

@@ -208,6 +208,19 @@ class HistogramDetector:
         self.num_updates += len(embeddings)
         self._rebuild()
 
+    def refit(self, embeddings: np.ndarray) -> "HistogramDetector":
+        """Re-baseline the detector on fresh embeddings (coordinated refresh).
+
+        Unlike :meth:`update`, this *replaces* the absorbed training set
+        instead of appending to it — the embedding function changed under
+        us (e.g. a cache rebuild), so scores of old embeddings no longer
+        live on the same scale as new ones.  ``num_updates`` restarts at
+        zero: the new histograms owe nothing to the old online updates.
+        """
+        self.fit(embeddings)
+        self.num_updates = 0
+        return self
+
     @property
     def num_samples(self) -> int:
         self._require_fitted()

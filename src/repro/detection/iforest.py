@@ -51,6 +51,7 @@ class IsolationForest:
         self.n_trees = n_trees
         self.subsample_size = subsample_size
         self.contamination = contamination
+        self.seed = seed
         self._rng = as_rng(seed)
         self._trees: list[_Node] = []
         self._subsample_used = 0
@@ -113,6 +114,17 @@ class IsolationForest:
 
     def is_outlier(self, x: np.ndarray) -> np.ndarray:
         return self.decision_scores(x) > self.threshold_
+
+    def refit(self, x: np.ndarray) -> "IsolationForest":
+        """Re-baseline on fresh embeddings (coordinated refresh).
+
+        The ensemble RNG is re-derived from the constructor seed so that
+        two detectors with the same seed refit on the same embeddings
+        grow bit-identical forests, regardless of how much randomness the
+        previous fit consumed.
+        """
+        self._rng = as_rng(self.seed)
+        return self.fit(x)
 
     # ------------------------------------------------------------------
     # Persistence

@@ -66,6 +66,15 @@ class LocalOutlierFactor:
     def is_outlier(self, x: np.ndarray) -> np.ndarray:
         return self.decision_scores(x) > self.threshold_
 
+    def refit(self, x: np.ndarray) -> "LocalOutlierFactor":
+        """Re-baseline on fresh embeddings (coordinated refresh).
+
+        LOF keeps no RNG, so refit is exactly a fresh :meth:`fit` — the
+        method exists so every detector exposes the same refresh
+        capability surface.
+        """
+        return self.fit(x)
+
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------

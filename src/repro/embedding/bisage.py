@@ -283,9 +283,23 @@ class BiSAGE:
         # aggregation pass; inference must not aggregate from them.
         self._macs_aggregated = num_v
 
-    def refresh_cache(self) -> None:
-        """Recompute caches against the graph's *current* contents."""
+    def refresh_cache(self, admit_new_macs: bool = True) -> None:
+        """Recompute caches against the graph's *current* contents.
+
+        ``admit_new_macs=True`` (the raw, legacy behaviour) also admits
+        MACs first seen after training into inference-time aggregation.
+        Measured under churn, that *collapses* in/out separation: the
+        trained weight matrices never saw those nodes, and one refresh
+        after a churn shock drives both classes' scores to the ceiling.
+        The coordinated refresh path passes ``False`` — per-layer
+        embeddings are recomputed over the grown graph, but the
+        aggregation universe stays the trained one; new MACs join at
+        full re-provision, when the weights are retrained too.
+        """
+        boundary = self._macs_aggregated
         self._build_cache()
+        if not admit_new_macs:
+            self._macs_aggregated = min(boundary, self._require_fitted().num_macs)
 
     def _extend_mac_cache(self) -> None:
         """Lazily append rows for MAC nodes added after the last cache build.

@@ -202,8 +202,14 @@ class GraphSAGE:
         self._cache_v = [layer[num_u:].copy() for layer in layers]
         self._macs_aggregated = num_v
 
-    def refresh_cache(self) -> None:
+    def refresh_cache(self, admit_new_macs: bool = True) -> None:
+        """Recompute caches; see :meth:`repro.embedding.bisage.BiSAGE.refresh_cache`
+        for the ``admit_new_macs`` semantics (the coordinated refresh
+        path passes ``False`` to keep the trained aggregation universe)."""
+        boundary = self._macs_aggregated
         self._build_cache()
+        if not admit_new_macs:
+            self._macs_aggregated = min(boundary, self._require_fitted().num_macs)
 
     def _extend_mac_cache(self) -> None:
         graph = self._require_fitted()

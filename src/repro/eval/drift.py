@@ -262,7 +262,7 @@ class DriftHarness:
                                  "num_epochs": self.timeline.num_epochs})
 
     def run_fleet(self, fleet, tenant_id: str, label: str | None = None,
-                  evict_mid_epoch: bool = True) -> DriftResult:
+                  evict_mid_epoch: bool = True, controller=None) -> DriftResult:
         """Replay every epoch through one fleet tenant (always online).
 
         The tenant must already be provisioned (typically on
@@ -271,8 +271,19 @@ class DriftHarness:
         boundary, so the stream repeatedly crosses checkpoint write-back
         and reload — the drift trajectory doubles as a no-drift check on
         the persistence layer.
+
+        ``controller`` hooks the control plane in: a
+        :class:`~repro.serve.controller.FleetController` whose
+        :meth:`step` is called after every observation, so maintenance
+        policies (coordinated refresh, re-provision, flush) execute at
+        exactly the points they would in production and their effect on
+        the trajectory is measured.  A controller running the no-op
+        policy leaves the replay bit-identical to ``controller=None``.
+        The per-epoch maintenance actions land in
+        ``meta["maintenance"]``.
         """
         epochs: list[EpochMetrics] = []
+        actions_by_epoch: dict[int, list[str]] = {}
         t0 = time.perf_counter()
         for world in self.timeline:
             records = self.epoch_records(world.epoch)
@@ -281,12 +292,20 @@ class DriftHarness:
             for position, item in enumerate(records):
                 if evict_mid_epoch and position == halfway and position > 0:
                     fleet.evict(tenant_id)
-                decisions.append(fleet.observe(tenant_id, item.record))
+                decision = fleet.observe(tenant_id, item.record)
+                if controller is not None:
+                    acted = controller.step(tenant_id, decision)
+                    if acted:
+                        actions_by_epoch.setdefault(world.epoch, []).extend(acted)
+                decisions.append(decision)
                 labels.append(item.inside)
             fleet.evict(tenant_id)
             epochs.append(_epoch_metrics(world, labels, decisions))
+        meta = {"online": True, "seed": self.seed,
+                "num_epochs": self.timeline.num_epochs,
+                "tenant_id": tenant_id}
+        if controller is not None:
+            meta["maintenance"] = {str(k): v for k, v in sorted(actions_by_epoch.items())}
         return DriftResult(label=label or f"fleet:{tenant_id}", epochs=epochs,
                            stream_seconds=time.perf_counter() - t0,
-                           meta={"online": True, "seed": self.seed,
-                                 "num_epochs": self.timeline.num_epochs,
-                                 "tenant_id": tenant_id})
+                           meta=meta)

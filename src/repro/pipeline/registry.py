@@ -73,7 +73,11 @@ class ComponentEntry:
     inapplicable hyper-parameter fails loudly instead of being silently
     dropped.  ``supports_update`` marks detectors (and models) with an
     online self-update path; ``supports_state_dict`` marks components
-    whose instances can be checkpointed and restored.
+    whose instances can be checkpointed and restored;
+    ``supports_refresh`` marks components that can take part in a
+    coordinated refresh — embedders exposing ``refresh_cache``,
+    detectors exposing ``refit``, and standalone models exposing
+    ``refresh(records)``.
     """
 
     name: str
@@ -82,6 +86,7 @@ class ComponentEntry:
     params: tuple[str, ...]
     supports_update: bool = False
     supports_state_dict: bool = True
+    supports_refresh: bool = False
     description: str = ""
 
 
@@ -90,7 +95,8 @@ _REGISTRY: dict[tuple[str, str], ComponentEntry] = {}
 
 def register_component(kind: str, name: str, factory: Callable[..., Any],
                        params: Iterable[str], *, supports_update: bool = False,
-                       supports_state_dict: bool = True, description: str = "",
+                       supports_state_dict: bool = True,
+                       supports_refresh: bool = False, description: str = "",
                        replace: bool = False) -> ComponentEntry:
     """Register a component; returns the new :class:`ComponentEntry`.
 
@@ -109,6 +115,7 @@ def register_component(kind: str, name: str, factory: Callable[..., Any],
     entry = ComponentEntry(name=name, kind=kind, factory=factory,
                            params=tuple(params), supports_update=supports_update,
                            supports_state_dict=supports_state_dict,
+                           supports_refresh=supports_refresh,
                            description=description)
     _REGISTRY[key] = entry
     return entry
@@ -162,10 +169,12 @@ def _make_autoencoder(**params):
 register_component(
     "embedder", "bisage", _make_bisage,
     _config_params(BiSAGEConfig) + ("weight_offset", "refresh_every"),
+    supports_refresh=True,
     description="Weighted bipartite graph + BiSAGE GNN (the paper's embedder)")
 register_component(
     "embedder", "graphsage", _make_graphsage,
     _config_params(GraphSAGEConfig) + ("weight_offset", "refresh_every"),
+    supports_refresh=True,
     description="Homogeneous GraphSAGE over the same bipartite graph")
 register_component(
     "embedder", "autoencoder", _make_autoencoder,
@@ -188,18 +197,21 @@ def _make_histogram(**params):
 
 register_component(
     "detector", "histogram", _make_histogram, _config_params(HistogramConfig),
-    supports_update=True,
+    supports_update=True, supports_refresh=True,
     description="Enhanced histogram OD (HBOS + softmax enhancement + update)")
 register_component(
     "detector", "lof", LocalOutlierFactor, ("n_neighbors", "contamination"),
+    supports_refresh=True,
     description="Local outlier factor with out-of-sample queries")
 register_component(
     "detector", "iforest", IsolationForest,
     ("n_trees", "subsample_size", "contamination", "seed"),
+    supports_refresh=True,
     description="Isolation forest over embedding vectors")
 register_component(
     "detector", "feature-bagging", FeatureBagging,
     ("n_estimators", "n_neighbors", "contamination", "seed"),
+    supports_refresh=True,
     description="Cumulative-sum feature-bagged LOF ensemble")
 
 
@@ -212,7 +224,7 @@ def _make_gem(**params):
 
 register_component(
     "model", "gem", _make_gem, _config_params(GEMConfig),
-    supports_update=True,
+    supports_update=True, supports_refresh=True,
     description="The paper's tuned system: BiSAGE + enhanced histogram + self-update")
 register_component(
     "model", "signature-home", SignatureHome,

@@ -166,8 +166,11 @@ class PipelineSpec:
 
     Either shape may carry an optional ``drift`` block — a declarative
     temporal-dynamics workload (:class:`DriftSpec`) for the drift
-    evaluation harness.  It does not affect what ``build_pipeline``
-    constructs.
+    evaluation harness — and an optional ``maintenance`` block — a
+    :class:`~repro.serve.policy.MaintenancePolicy` telling a fleet
+    controller when to run coordinated refresh / re-provision / flush
+    for tenants built from this spec.  Neither block affects what
+    ``build_pipeline`` constructs.
     """
 
     embedder: ComponentSpec | None = None
@@ -176,10 +179,18 @@ class PipelineSpec:
     self_update: bool = True
     batch_update_size: int = 1
     drift: DriftSpec | None = None
+    maintenance: object | None = None
 
     def __post_init__(self):
         if self.drift is not None and not isinstance(self.drift, DriftSpec):
             object.__setattr__(self, "drift", DriftSpec.from_dict(self.drift))
+        if self.maintenance is not None:
+            # Imported lazily: repro.serve imports repro.pipeline at module
+            # load, so the reverse import must happen at call time.
+            from repro.serve.policy import MaintenancePolicy
+            if not isinstance(self.maintenance, MaintenancePolicy):
+                object.__setattr__(self, "maintenance",
+                                   MaintenancePolicy.from_dict(self.maintenance))
         if self.model is not None:
             if self.embedder is not None or self.detector is not None:
                 raise ValueError("a model spec cannot also name an embedder/detector; "
@@ -208,17 +219,42 @@ class PipelineSpec:
         """
         if self.drift is not None:
             self.drift.validate()
+        wants_refresh = self.maintenance is not None and self.maintenance.wants_refresh()
         if self.model is not None:
-            self.model.resolve("model")
+            entry = self.model.resolve("model")
+            if wants_refresh and not entry.supports_refresh:
+                raise ValueError(
+                    f"the maintenance policy can demand a coordinated refresh but "
+                    f"model {self.model.name!r} is not refresh-capable; drop the "
+                    "refresh clauses or pick a refresh-capable model (e.g. 'gem')")
             return self
-        self.embedder.resolve("embedder")
+        embedder_entry = self.embedder.resolve("embedder")
         detector_entry = self.detector.resolve("detector")
         if self.self_update and not detector_entry.supports_update:
             raise ValueError(
                 f"self_update=True but detector {self.detector.name!r} has no online "
                 "update; set self_update=False or choose an updatable detector "
                 "(e.g. 'histogram')")
+        if wants_refresh and not (embedder_entry.supports_refresh
+                                  and detector_entry.supports_refresh):
+            culprit = (("embedder", self.embedder.name)
+                       if not embedder_entry.supports_refresh
+                       else ("detector", self.detector.name))
+            raise ValueError(
+                f"the maintenance policy can demand a coordinated refresh but "
+                f"{culprit[0]} {culprit[1]!r} is not refresh-capable; drop the "
+                "refresh clauses or pick refresh-capable components "
+                "(e.g. embedder 'bisage', detector 'histogram')")
         return self
+
+    def supports_refresh(self) -> bool:
+        """True when pipelines built from this spec can run a coordinated
+        refresh (embedder with ``refresh_cache`` + detector with
+        ``refit``, or a refresh-capable standalone model)."""
+        if self.model is not None:
+            return self.model.resolve("model").supports_refresh
+        return (self.embedder.resolve("embedder").supports_refresh
+                and self.detector.resolve("detector").supports_refresh)
 
     def require_state_dict(self) -> "PipelineSpec":
         """Reject specs naming any component registered as non-persistable.
@@ -252,6 +288,8 @@ class PipelineSpec:
             out["batch_update_size"] = self.batch_update_size
         if self.drift is not None:
             out["drift"] = self.drift.to_dict()
+        if self.maintenance is not None:
+            out["maintenance"] = self.maintenance.to_dict()
         return out
 
     @classmethod
@@ -264,7 +302,8 @@ class PipelineSpec:
             raise ValueError(f"pipeline spec version {version!r} is not supported "
                              f"(this build reads version {SPEC_VERSION})")
         unknown = set(data) - {"embedder", "detector", "model",
-                               "self_update", "batch_update_size", "drift"}
+                               "self_update", "batch_update_size", "drift",
+                               "maintenance"}
         if unknown:
             raise ValueError(f"pipeline spec has unknown keys {sorted(unknown)}")
         kwargs: dict = {}
@@ -273,6 +312,9 @@ class PipelineSpec:
                 kwargs[key] = ComponentSpec.from_dict(data[key])
         if data.get("drift") is not None:
             kwargs["drift"] = DriftSpec.from_dict(data["drift"])
+        if data.get("maintenance") is not None:
+            from repro.serve.policy import MaintenancePolicy
+            kwargs["maintenance"] = MaintenancePolicy.from_dict(data["maintenance"])
         if "self_update" in data:
             # No bool() coercion: a hand-edited "false" string would
             # silently flip self-update ON, drifting every decision.

@@ -40,6 +40,7 @@ __all__ = [
     "DynamicsTimeline",
     "EpochWorld",
     "MacRandomization",
+    "MarkovOnOff",
     "MutableWorld",
     "SCHEDULES",
     "TransientHotspots",
@@ -264,6 +265,80 @@ class MacRandomization:
 
 
 @dataclass(frozen=True)
+class MarkovOnOff:
+    """Fig. 11/12's two-state AP ON-OFF chain, lifted to epoch dynamics.
+
+    Each persistent AP follows an independent Markov chain with one
+    transition per epoch: ON→OFF with probability ``p``, OFF→ON with
+    probability ``q`` (the chain of :mod:`repro.rf.markov`, which applies
+    the same process to an already-generated *record stream*; here the
+    APs blink out of the *world* instead, so the drift harness scans a
+    physically consistent environment).  OFF APs vanish from the epoch's
+    environment and return — same device, same MACs — when the chain
+    flips back, unlike :class:`APChurn` retirement.  ``protect`` pins
+    ap_ids permanently ON.  While OFF, an AP is invisible to the other
+    schedules (a powered-down router does not take firmware churn).
+    """
+
+    p: float = 0.2
+    q: float = 0.5
+    protect: tuple[int, ...] = ()
+
+    def __post_init__(self):
+        _check_fraction(self.p, "p")
+        _check_fraction(self.q, "q")
+        object.__setattr__(self, "protect", tuple(int(i) for i in self.protect))
+
+    def stationary_on_probability(self) -> float:
+        """Long-run fraction of epochs an unprotected AP spends ON."""
+        if self.p + self.q == 0:
+            return 1.0
+        return self.q / (self.p + self.q)
+
+    def mutate(self, world: MutableWorld, epoch: int, rng: np.random.Generator,
+               store: dict) -> None:
+        hidden: dict[int, AccessPoint] = store.setdefault("hidden", {})
+        states: dict[int, bool] = store.setdefault("states", {})
+        pool = list(world.aps) + list(hidden.values())
+        hidden.clear()
+        # Chains no longer backed by a live AP (e.g. churned away while
+        # hidden) are dropped so the store stays bounded.
+        live = {ap.ap_id for ap in pool}
+        for ap_id in [i for i in states if i not in live]:
+            del states[ap_id]
+        protected = set(self.protect)
+        visible: list[AccessPoint] = []
+        turned_off = turned_on = 0
+        # Sorted iteration pins the per-AP RNG draw order regardless of
+        # how earlier schedules shuffled the population.
+        for ap in sorted(pool, key=lambda a: a.ap_id):
+            was_on = states.get(ap.ap_id, True)
+            if ap.ap_id in protected:
+                now_on = True
+            elif was_on:
+                now_on = rng.random() >= self.p
+            else:
+                now_on = rng.random() < self.q
+            states[ap.ap_id] = now_on
+            if now_on:
+                visible.append(ap)
+                turned_on += not was_on
+            else:
+                hidden[ap.ap_id] = ap
+                turned_off += was_on
+        if not visible and hidden:
+            # Never empty the world outright: deterministically revive one.
+            ap = hidden.pop(max(hidden))
+            states[ap.ap_id] = True
+            visible.append(ap)
+            turned_on += 1
+        world.aps = visible
+        if turned_off or turned_on:
+            world.events.append(f"markov-onoff: {turned_off} AP(s) off, "
+                                f"{turned_on} back on")
+
+
+@dataclass(frozen=True)
 class TransientHotspots:
     """Short-lived low-power hotspots (phones) present for one epoch.
 
@@ -332,6 +407,7 @@ SCHEDULES = {
     "churn-shock": ChurnShock,
     "tx-power-drift": TxPowerDrift,
     "mac-randomization": MacRandomization,
+    "markov-onoff": MarkovOnOff,
     "transient-hotspots": TransientHotspots,
     "device-gain-drift": DeviceGainDrift,
 }

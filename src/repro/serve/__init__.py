@@ -10,8 +10,17 @@ asset:
 * :mod:`repro.serve.registry` — per-tenant checkpoint store with
   atomic writes;
 * :mod:`repro.serve.fleet` — LRU-cached multi-tenant server with dirty
-  write-back, batched dispatch and heterogeneous per-tenant arms;
-* :mod:`repro.serve.telemetry` — per-tenant / fleet-wide counters.
+  write-back, batched dispatch, heterogeneous per-tenant arms and a
+  bounded recent-inlier reservoir per tenant (the **data plane**, plus
+  the maintenance mechanics);
+* :mod:`repro.serve.telemetry` — per-tenant / fleet-wide counters;
+* :mod:`repro.serve.policy` — declarative
+  :class:`~repro.serve.policy.MaintenancePolicy` (JSON round trip,
+  embeddable in a :class:`~repro.pipeline.spec.PipelineSpec`);
+* :mod:`repro.serve.controller` — the **control plane**:
+  :class:`~repro.serve.controller.FleetController` executes policies
+  (coordinated refresh, re-provision, flush, idle eviction) against a
+  fleet from the decision stream.
 """
 
 from repro.serve.checkpoint import (
@@ -24,16 +33,26 @@ from repro.serve.checkpoint import (
     save_checkpoint,
     spec_from_manifest,
 )
-from repro.serve.fleet import GeofenceFleet
+from repro.serve.controller import FleetController
+from repro.serve.fleet import (
+    DEFAULT_RESERVOIR_SIZE,
+    RESERVOIR_METADATA_KEY,
+    GeofenceFleet,
+)
+from repro.serve.policy import MaintenancePolicy
 from repro.serve.registry import ModelRegistry, validate_tenant_id
 from repro.serve.telemetry import FleetTelemetry, TenantStats
 
 __all__ = [
     "CHECKPOINT_VERSION",
     "CheckpointError",
+    "DEFAULT_RESERVOIR_SIZE",
+    "FleetController",
     "FleetTelemetry",
     "GeofenceFleet",
+    "MaintenancePolicy",
     "ModelRegistry",
+    "RESERVOIR_METADATA_KEY",
     "SUPPORTED_VERSIONS",
     "TenantStats",
     "load_checkpoint",

@@ -1,0 +1,227 @@
+"""The fleet control plane: policy-driven maintenance over a GeofenceFleet.
+
+The split: the **data plane** is ``GeofenceFleet.observe``/``score`` —
+the hot path, untouched by this module.  The **control plane** is a
+:class:`FleetController` that taps the decision stream, folds it into
+per-tenant telemetry windows (observation counts, unembeddable rate,
+self-update-buffer rate), and executes the clauses of a declarative
+:class:`~repro.serve.policy.MaintenancePolicy`: scheduled or
+telemetry-triggered **coordinated refresh** (embedding-cache rebuild +
+detector refit on the tenant's recent-inlier reservoir, one atomic
+operation), escalation to a full **re-provision**, periodic
+**write-back**, and **idle eviction** during :meth:`maintain` sweeps.
+
+The controller deliberately keeps its own telemetry rather than reading
+``fleet.telemetry``: the fleet folds an evicted tenant's counters into a
+retired aggregate (memory bounding), which would reset the controller's
+cadence arithmetic every eviction.  Control decisions are therefore a
+pure function of the decision stream — deterministic replay produces
+deterministic maintenance, which is what makes refresh policies
+*measurable* in the drift harness.
+
+Per-tenant policy resolution, most specific wins: an explicit
+``policies[tenant_id]`` entry, else the ``maintenance`` block of the
+resident model's :class:`~repro.pipeline.spec.PipelineSpec`, else the
+controller's default policy (a no-op unless configured otherwise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.protocols import GeofenceDecision
+from repro.serve.fleet import GeofenceFleet
+from repro.serve.policy import MaintenancePolicy
+from repro.serve.telemetry import FleetTelemetry, TenantStats
+
+__all__ = ["FleetController", "TenantControlState"]
+
+
+@dataclass
+class TenantControlState:
+    """Controller-side bookkeeping for one tenant (all observation counts)."""
+
+    checked_at: int = 0          # observations at the last policy evaluation
+    refreshed_at: int = 0        # observations at the last refresh/reprovision
+    flushed_at: int = 0          # observations at the last policy-driven flush
+    window: TenantStats = field(default_factory=TenantStats)  # counters at last eval
+    trigger_streak: int = 0      # consecutive telemetry-triggered refreshes
+    idle_sweeps: int = 0         # consecutive maintain() sweeps with no traffic
+    swept_at: int = 0            # observations at the last maintain() sweep
+
+
+class FleetController:
+    """Executes maintenance policies against a fleet.
+
+    Parameters
+    ----------
+    fleet:
+        The :class:`~repro.serve.fleet.GeofenceFleet` to maintain.
+    policy:
+        Default policy for tenants without a more specific one; the
+        default default is the no-op :class:`MaintenancePolicy()`.
+    policies:
+        Per-tenant overrides (tenant_id -> policy).
+    """
+
+    def __init__(self, fleet: GeofenceFleet, policy: MaintenancePolicy | None = None,
+                 policies: dict[str, MaintenancePolicy] | None = None):
+        self.fleet = fleet
+        self.policy = policy if policy is not None else MaintenancePolicy()
+        self.policies = dict(policies or {})
+        self.telemetry = FleetTelemetry()
+        self._states: dict[str, TenantControlState] = {}
+        # Action log: (tenant_id, action) in execution order, for tests,
+        # benchmarks and the CLI report.  Bounded by callers that care.
+        self.actions: list[tuple[str, str]] = []
+
+    # ------------------------------------------------------------------
+    # Policy resolution
+    # ------------------------------------------------------------------
+    def policy_for(self, tenant_id: str) -> MaintenancePolicy:
+        """Most specific policy: explicit > tenant spec block > default."""
+        explicit = self.policies.get(tenant_id)
+        if explicit is not None:
+            return explicit
+        model = self.fleet.resident(tenant_id)
+        spec = getattr(model, "spec", None)
+        block = getattr(spec, "maintenance", None)
+        if block is not None:
+            return block
+        return self.policy
+
+    def state(self, tenant_id: str) -> TenantControlState:
+        return self._states.setdefault(tenant_id, TenantControlState())
+
+    # ------------------------------------------------------------------
+    # The control-plane tap
+    # ------------------------------------------------------------------
+    def step(self, tenant_id: str, decision: GeofenceDecision) -> list[str]:
+        """Fold one data-plane decision in; maybe act.  Returns actions.
+
+        Call after every ``fleet.observe`` whose maintenance this
+        controller owns (or use :meth:`observe`).  With the no-op
+        policy this only increments counters — it never touches the
+        model, so a controlled replay is bit-identical to an
+        uncontrolled one.
+        """
+        self.telemetry.record_observation(tenant_id, decision)
+        policy = self.policy_for(tenant_id)
+        if policy.check_every <= 0:
+            return []
+        stats = self.telemetry.tenant(tenant_id)
+        state = self.state(tenant_id)
+        if stats.observations - state.checked_at < policy.check_every:
+            return []
+        actions = self._evaluate(tenant_id, policy, stats, state)
+        state.checked_at = stats.observations
+        return actions
+
+    def observe(self, tenant_id: str, record) -> GeofenceDecision:
+        """Data-plane observe + control-plane step, one call."""
+        decision = self.fleet.observe(tenant_id, record)
+        self.step(tenant_id, decision)
+        return decision
+
+    # ------------------------------------------------------------------
+    # Sweeps (periodic / CLI)
+    # ------------------------------------------------------------------
+    def maintain(self) -> dict[str, list[str]]:
+        """One background sweep over the resident set.
+
+        Applies the flush and idle-eviction clauses of each resident
+        tenant's policy (refresh clauses stay on the decision-stream
+        path, where the rates they consume are defined).  Returns the
+        actions taken per tenant.
+        """
+        out: dict[str, list[str]] = {}
+        for tenant_id in list(self.fleet.resident_tenants):
+            policy = self.policy_for(tenant_id)
+            state = self.state(tenant_id)
+            stats = self.telemetry.tenant(tenant_id)
+            actions: list[str] = []
+            idle = stats.observations == state.swept_at
+            state.idle_sweeps = state.idle_sweeps + 1 if idle else 0
+            state.swept_at = stats.observations
+            if policy.evict_idle_sweeps and state.idle_sweeps >= policy.evict_idle_sweeps:
+                if self.fleet.evict(tenant_id):
+                    actions.append("evict-idle")
+                state.idle_sweeps = 0
+            elif policy.flush_every and self.fleet.is_dirty(tenant_id):
+                self.fleet.flush(tenant_id)
+                actions.append("flush")
+            if actions:
+                self._log(tenant_id, actions)
+                out[tenant_id] = actions
+        return out
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _evaluate(self, tenant_id: str, policy: MaintenancePolicy,
+                  stats: TenantStats, state: TenantControlState) -> list[str]:
+        actions: list[str] = []
+        has_rate_triggers = (policy.max_unembeddable_rate is not None
+                             or policy.min_update_rate is not None)
+        window_obs = stats.observations - state.window.observations
+        unembeddable_rate = ((stats.unembeddable - state.window.unembeddable) / window_obs
+                             if window_obs else 0.0)
+        update_rate = ((stats.buffered - state.window.buffered) / window_obs
+                       if window_obs else 0.0)
+        # The window accumulates across evaluations until it is large
+        # enough to trust its rates, then resets — otherwise a
+        # check_every below min_window would make the rate triggers
+        # silently unreachable (the window could never grow past one
+        # check interval).
+        if not has_rate_triggers or window_obs >= policy.min_window:
+            state.window = stats
+        scheduled = bool(policy.refresh_every) and \
+            stats.observations - state.refreshed_at >= policy.refresh_every
+        triggered = window_obs >= policy.min_window and (
+            (policy.max_unembeddable_rate is not None
+             and unembeddable_rate > policy.max_unembeddable_rate)
+            or (policy.min_update_rate is not None
+                and update_rate < policy.min_update_rate))
+        if scheduled or triggered:
+            escalate = (triggered and policy.reprovision_after
+                        and state.trigger_streak >= policy.reprovision_after)
+            try:
+                if escalate:
+                    self.fleet.reprovision(tenant_id)
+                    actions.append("reprovision")
+                    state.trigger_streak = 0
+                else:
+                    self.fleet.refresh(tenant_id)
+                    actions.append("refresh")
+                    state.trigger_streak = state.trigger_streak + 1 if triggered else 0
+            except (TypeError, ValueError) as error:
+                # Operational conditions, not crashes: an empty or
+                # unembeddable reservoir (ValueError), or a controller-
+                # level refresh policy meeting a tenant whose arm has no
+                # refresh capability (TypeError — e.g. an INOA tenant in
+                # a mixed fleet under a blanket policy).  Record it and
+                # back off one refresh interval so the loop doesn't spin.
+                # A *failed* triggered refresh still advances the
+                # escalation streak — reprovision (a full refit, which
+                # needs no refresh capability) is exactly the escape
+                # hatch for a tenant whose refreshes cannot succeed.
+                verb = "reprovision" if escalate else "refresh"
+                actions.append(f"{verb}-failed: {error}")
+                if triggered and not escalate:
+                    state.trigger_streak += 1
+            state.refreshed_at = stats.observations
+        elif window_obs >= policy.min_window:
+            # A clean window clears the escalation streak.
+            state.trigger_streak = 0
+        if policy.flush_every and \
+                stats.observations - state.flushed_at >= policy.flush_every:
+            if self.fleet.is_dirty(tenant_id):
+                self.fleet.flush(tenant_id)
+                actions.append("flush")
+            state.flushed_at = stats.observations
+        if actions:
+            self._log(tenant_id, actions)
+        return actions
+
+    def _log(self, tenant_id: str, actions: list[str]) -> None:
+        self.actions.extend((tenant_id, action) for action in actions)

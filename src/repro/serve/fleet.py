@@ -16,6 +16,24 @@ embedder x detector arm, or a standalone baseline), and reloads rebuild
 whatever arm the tenant's checkpoint embeds — one fleet serves a GEM
 home next to a BiSAGE+LOF lab next to an INOA mall.
 
+Data plane vs control plane: ``observe``/``observe_many``/``score`` are
+the hot path and never initiate maintenance.  The fleet additionally
+keeps a bounded per-tenant reservoir of inlier *records* in two parts —
+a pinned **anchor** (the provision-time training records, replaced only
+at re-provision) plus a rolling window of **recent** in-premises scans —
+and exposes the maintenance *mechanics*: :meth:`refresh` (coordinated
+cache rebuild + detector refit on the re-embedded reservoir) and
+:meth:`reprovision` (full refit from the reservoir), for a
+:class:`~repro.serve.controller.FleetController` to drive according to
+a :class:`~repro.serve.policy.MaintenancePolicy`.  The anchor matters:
+refitting on recent inliers alone narrows the detector's score
+normalisation every refresh (recent inliers are a self-selected tight
+cluster) until ordinary records clip to the ceiling and the reservoir
+starves — the anchor keeps the full breadth of the training
+distribution in every refit.  Reservoirs travel inside the checkpoint
+metadata, so an evicted (or offline-maintained) tenant refreshes from
+exactly the records a resident one would have used.
+
 Thread safety: one re-entrant lock serialises model access.  The models
 themselves are single-threaded numpy pipelines, so the lock is the
 correctness boundary, not a performance afterthought; scale-out happens
@@ -24,20 +42,32 @@ by running many fleets behind a tenant-hash router (see ROADMAP).
 
 from __future__ import annotations
 
+import math
 import time
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from threading import RLock
 from typing import Callable, Iterable, Sequence
 
 from repro.core.gem import GEM
+from repro.core.io import record_from_dict, record_to_dict
 from repro.core.protocols import GeofenceDecision, GeofenceModel
 from repro.core.records import SignalRecord
 from repro.pipeline import PipelineSpec, build_pipeline
+from repro.pipeline.build import infer_spec
 from repro.serve.checkpoint import CheckpointError
-from repro.serve.registry import ModelRegistry, validate_tenant_id
+from repro.serve.registry import (
+    RESERVOIR_METADATA_KEY,
+    ModelRegistry,
+    validate_tenant_id,
+)
 from repro.serve.telemetry import FleetTelemetry
 
-__all__ = ["GeofenceFleet"]
+__all__ = ["DEFAULT_RESERVOIR_SIZE", "GeofenceFleet", "RESERVOIR_METADATA_KEY"]
+
+# Default bound for each half (anchor / recent) of a tenant's inlier
+# reservoir; shared with `python -m repro train` so CLI-trained tenants
+# carry the same anchor a fleet.provision would seed.
+DEFAULT_RESERVOIR_SIZE = 256
 
 
 class GeofenceFleet:
@@ -55,23 +85,40 @@ class GeofenceFleet:
         with paper defaults.
     telemetry:
         Counter sink; a fresh :class:`FleetTelemetry` by default.
+    reservoir_size:
+        Bound on *each half* of the per-tenant inlier reservoir: at most
+        this many pinned anchor (training) records plus this many recent
+        in-premises records.  The reservoir is what coordinated refresh
+        refits the detector on; 0 disables it (and with it,
+        refresh/reprovision).
     """
 
     def __init__(self, registry: ModelRegistry | str, capacity: int = 8,
                  model_factory: Callable[[], GeofenceModel] | None = None,
-                 telemetry: FleetTelemetry | None = None):
+                 telemetry: FleetTelemetry | None = None,
+                 reservoir_size: int = DEFAULT_RESERVOIR_SIZE):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if reservoir_size < 0:
+            raise ValueError(f"reservoir_size must be >= 0, got {reservoir_size}")
         self.registry = registry if isinstance(registry, ModelRegistry) else ModelRegistry(registry)
         self.capacity = capacity
         self.model_factory = model_factory if model_factory is not None else GEM
         self.telemetry = telemetry if telemetry is not None else FleetTelemetry()
+        self.reservoir_size = reservoir_size
         # tenant_id -> model, most-recently-used last.
         self._cache: "OrderedDict[str, GeofenceModel]" = OrderedDict()
         self._dirty: set[str] = set()
         # Checkpoint metadata, cached so write-backs don't re-read the
         # manifest from disk on the serving path.
         self._metadata: dict[str, dict] = {}
+        # tenant_id -> pinned anchor records (training set; replaced only
+        # at re-provision) and rolling recent inliers, oldest first.
+        # Kept only for resident tenants; persisted inside checkpoint
+        # metadata on write-back and restored on load, so eviction loses
+        # nothing.
+        self._anchors: dict[str, list[SignalRecord]] = {}
+        self._recent: dict[str, "deque[SignalRecord]"] = {}
         self._lock = RLock()
 
     # ------------------------------------------------------------------
@@ -96,6 +143,12 @@ class GeofenceFleet:
         model.fit(records)
         with self._lock:
             self._metadata[tenant_id] = dict(metadata or {})
+            # Training records are inliers by definition (semi-supervised
+            # setup): they become the pinned anchor, so the very first
+            # refresh already refits on the full training breadth.
+            usable = [r for r in records if r.readings]
+            self._anchors[tenant_id] = usable[-self.reservoir_size:] if self.reservoir_size else []
+            self._recent[tenant_id] = deque(maxlen=self.reservoir_size)
             self._save(tenant_id, model)
             self._cache[tenant_id] = model
             self._cache.move_to_end(tenant_id)
@@ -134,6 +187,8 @@ class GeofenceFleet:
             self._cache.clear()
             self._dirty.clear()
             self._metadata.clear()
+            self._anchors.clear()
+            self._recent.clear()
 
     def __enter__(self) -> "GeofenceFleet":
         return self
@@ -156,6 +211,7 @@ class GeofenceFleet:
             # return before touching anything.
             if record.readings:
                 self._dirty.add(tenant_id)
+                self._remember_inlier(tenant_id, record, decision)
         self.telemetry.record_observation(tenant_id, decision, seconds=elapsed)
         return decision
 
@@ -191,6 +247,9 @@ class GeofenceFleet:
                 elapsed = (time.perf_counter() - start) / max(len(positions), 1)
                 if any(items[p][1].readings for p in positions):
                     self._dirty.add(tenant_id)
+                for position, decision in zip(positions, batch):
+                    if items[position][1].readings:
+                        self._remember_inlier(tenant_id, items[position][1], decision)
             for position, decision in zip(positions, batch):
                 decisions[position] = decision
                 self.telemetry.record_observation(tenant_id, decision, seconds=elapsed)
@@ -200,6 +259,103 @@ class GeofenceFleet:
         """Stateless outlier score against one tenant's model."""
         with self._lock:
             return self._acquire(tenant_id).score(record)
+
+    # ------------------------------------------------------------------
+    # Maintenance mechanics (driven by the control plane)
+    # ------------------------------------------------------------------
+    def refresh(self, tenant_id: str) -> int:
+        """Coordinated refresh of one tenant from its inlier reservoir.
+
+        Rebuilds the tenant model's embedding caches (trained MAC
+        universe preserved) and refits its detector on the re-embedded
+        anchor + recent reservoir, atomically (see
+        :meth:`repro.core.gem.EmbeddingGeofencer.refresh`): a failure
+        leaves the tenant serving its pre-refresh state, un-dirtied by
+        the attempt.  Returns the number of records the detector was
+        refit on.
+        """
+        with self._lock:
+            model = self._acquire(tenant_id)
+            if not hasattr(model, "refresh"):
+                raise TypeError(f"tenant {tenant_id!r} runs {type(model).__name__}, "
+                                "which has no coordinated refresh capability")
+            records = self._reservoir_records(tenant_id)
+            if not records:
+                raise ValueError(f"tenant {tenant_id!r} has an empty inlier reservoir "
+                                 "(reservoir_size=0, or no inliers observed yet); "
+                                 "nothing to refit the detector on")
+            start = time.perf_counter()
+            absorbed = model.refresh(records)
+            elapsed = time.perf_counter() - start
+            self._dirty.add(tenant_id)
+        self.telemetry.record_refresh(tenant_id, seconds=elapsed)
+        return absorbed
+
+    def reprovision(self, tenant_id: str) -> GeofenceModel:
+        """Background re-provision: refit the tenant's arm from scratch
+        on its inlier reservoir and swap it in.
+
+        The escalation path for worlds that drifted further than a
+        refresh can absorb (the training graph itself is stale; new MACs
+        only enter the aggregation universe here, where the weights
+        retrain against them).  The new pipeline is built from the
+        tenant's spec and fitted *before* the swap, so a failed fit
+        leaves the old model serving.  The reservoir re-anchors on the
+        records just refitted on.
+        """
+        with self._lock:
+            model = self._acquire(tenant_id)
+            records = self._reservoir_records(tenant_id)
+            if not records:
+                raise ValueError(f"tenant {tenant_id!r} has an empty inlier reservoir "
+                                 "(reservoir_size=0, or no inliers observed yet); "
+                                 "cannot refit from scratch")
+            start = time.perf_counter()
+            fresh = build_pipeline(infer_spec(model))
+            fresh.fit(records)
+            elapsed = time.perf_counter() - start
+            # Commit point: the fitted replacement takes the LRU slot and
+            # its training set becomes the new anchor.
+            self._cache[tenant_id] = fresh
+            self._cache.move_to_end(tenant_id)
+            self._anchors[tenant_id] = records[-self.reservoir_size:]
+            self._recent[tenant_id] = deque(maxlen=self.reservoir_size)
+            self._dirty.add(tenant_id)
+        self.telemetry.record_reprovision(tenant_id, seconds=elapsed)
+        return fresh
+
+    def reservoir(self, tenant_id: str) -> list[SignalRecord]:
+        """Copy of one tenant's inlier reservoir (anchor then recent)."""
+        with self._lock:
+            self._acquire(tenant_id)
+            return self._reservoir_records(tenant_id)
+
+    def resident(self, tenant_id: str) -> GeofenceModel | None:
+        """The tenant's model if resident, else None — no load, no LRU touch."""
+        with self._lock:
+            return self._cache.get(tenant_id)
+
+    def _reservoir_records(self, tenant_id: str) -> list[SignalRecord]:
+        """Anchor + recent, the refit set.  Call with the lock held."""
+        return (list(self._anchors.get(tenant_id, ()))
+                + list(self._recent.get(tenant_id, ())))
+
+    def _remember_inlier(self, tenant_id: str, record: SignalRecord,
+                         decision: GeofenceDecision) -> None:
+        """Reservoir policy: keep records behind finite in-premises decisions.
+
+        Confidence is deliberately not required — detectors without a
+        confidence notion (LOF, iForest) would otherwise never fill a
+        reservoir — but unembeddable (+inf) and outside records never
+        enter: refreshing a detector on suspected outliers would teach
+        it the breach.  Call with the lock held.
+        """
+        if self.reservoir_size and decision.inside and math.isfinite(decision.score):
+            recent = self._recent.get(tenant_id)
+            if recent is None:
+                recent = deque(maxlen=self.reservoir_size)
+                self._recent[tenant_id] = recent
+            recent.append(record)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -224,7 +380,22 @@ class GeofenceFleet:
             # One read yields both, so model and metadata always belong
             # to the same save even with a concurrent writer process.
             model, manifest = self.registry.load_with_manifest(tenant_id)
-            self._metadata.setdefault(tenant_id, manifest.get("metadata", {}))
+            metadata = dict(manifest.get("metadata", {}))
+            # With reservoirs disabled, the persisted reservoir stays
+            # inside the cached metadata so write-backs carry it forward
+            # untouched — a reservoir_size=0 fleet must not destroy the
+            # anchor a future maintaining fleet will refresh from.
+            serialized = metadata.pop(RESERVOIR_METADATA_KEY, None) \
+                if self.reservoir_size else None
+            self._metadata.setdefault(tenant_id, metadata)
+            if serialized is not None and tenant_id not in self._anchors:
+                self._anchors[tenant_id] = [
+                    record_from_dict(item)
+                    for item in serialized.get("anchor", ())][-self.reservoir_size:]
+                recent: "deque[SignalRecord]" = deque(maxlen=self.reservoir_size)
+                recent.extend(record_from_dict(item)
+                              for item in serialized.get("recent", ()))
+                self._recent[tenant_id] = recent
             self.telemetry.record_load(tenant_id, seconds=time.perf_counter() - start)
             self._cache[tenant_id] = model
             self._shrink(keep=tenant_id)
@@ -250,6 +421,10 @@ class GeofenceFleet:
         self._write_back(tenant_id, self._cache[tenant_id])
         self._cache.pop(tenant_id)
         self._metadata.pop(tenant_id, None)
+        # The reservoir was persisted with the write-back (or was never
+        # dirtied); the next load restores it from the manifest.
+        self._anchors.pop(tenant_id, None)
+        self._recent.pop(tenant_id, None)
         self.telemetry.record_eviction(tenant_id)
         # Bound telemetry memory the same way: fold the evicted tenant's
         # counters into the retired aggregate.
@@ -265,6 +440,13 @@ class GeofenceFleet:
 
     def _save(self, tenant_id: str, model) -> None:
         start = time.perf_counter()
-        self.registry.save(tenant_id, model,
-                           metadata=self._metadata.get(tenant_id, {}))
+        metadata = dict(self._metadata.get(tenant_id, {}))
+        anchor = self._anchors.get(tenant_id, ())
+        recent = self._recent.get(tenant_id, ())
+        if anchor or recent:
+            metadata[RESERVOIR_METADATA_KEY] = {
+                "anchor": [record_to_dict(r) for r in anchor],
+                "recent": [record_to_dict(r) for r in recent],
+            }
+        self.registry.save(tenant_id, model, metadata=metadata)
         self.telemetry.record_save(tenant_id, seconds=time.perf_counter() - start)

@@ -1,0 +1,172 @@
+"""Declarative fleet-maintenance policies (the control plane's contract).
+
+A :class:`MaintenancePolicy` says *when* the control plane should act on
+a tenant — scheduled or telemetry-triggered coordinated refresh,
+escalation to a full re-provision, periodic write-back, idle eviction —
+without saying anything about *how* (that is
+:class:`~repro.serve.controller.FleetController`'s job) or touching the
+data plane (``GeofenceFleet.observe``/``score`` never consult a policy).
+
+Policies are frozen, JSON-round-tripping and validating, like every
+other declarative object in the repo, and may travel as the optional
+``maintenance`` block of a :class:`~repro.pipeline.spec.PipelineSpec` —
+so the arm, its drift workload and its maintenance contract live in one
+portable description.
+
+All cadences are counted in *observations of that tenant*, not wall
+time: a fleet has no global clock its tenants agree on, but every
+maintenance decision in the paper's setting (drift absorbed per record,
+reservoirs of recent inliers) is naturally per-observation.
+
+The default-constructed policy is a no-op (``check_every=0``): a
+controller running it never touches any model, which is what makes
+"fleet + controller with no-op policy == plain fleet, bit for bit" a
+testable invariant.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+from typing import Mapping
+
+__all__ = ["MaintenancePolicy"]
+
+
+def _check_count(value, name: str) -> None:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(f"{name} must be an integer, got {value!r}")
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+
+
+def _check_rate(value, name: str) -> None:
+    if value is None:
+        return
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValueError(f"{name} must be a number in [0, 1] or null, got {value!r}")
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class MaintenancePolicy:
+    """When the control plane acts on one tenant.
+
+    Parameters
+    ----------
+    check_every:
+        Evaluate the policy every N observations; ``0`` disables the
+        policy entirely (the no-op default).
+    refresh_every:
+        Scheduled coordinated refresh every N observations since the
+        last refresh (or provision); ``0`` disables the schedule.
+    max_unembeddable_rate:
+        Telemetry trigger: refresh when the fraction of footnote-3
+        unembeddable records in the evaluation window exceeds this.
+    min_update_rate:
+        Telemetry trigger: refresh when the fraction of observations
+        entering the self-update buffer (confident inliers) in the
+        window falls below this — a drifting world makes the detector
+        stop trusting its inliers long before AUC collapses.
+    min_window:
+        Observations the evaluation window must hold before rate
+        triggers may fire (rates over a handful of records are noise).
+    reprovision_after:
+        Escalation: after this many *consecutive* telemetry-triggered
+        refreshes that failed to clear the trigger, re-provision (full
+        refit from the recent-inlier reservoir) instead of refreshing
+        again; ``0`` never escalates.
+    flush_every:
+        Write the tenant's dirty state back to the registry every N
+        observations (durability cadence); ``0`` leaves write-back to
+        eviction/close.
+    evict_idle_sweeps:
+        During :meth:`FleetController.maintain` sweeps, evict a resident
+        tenant that saw no observations for this many consecutive
+        sweeps; ``0`` never evicts.
+    """
+
+    check_every: int = 0
+    refresh_every: int = 0
+    max_unembeddable_rate: float | None = None
+    min_update_rate: float | None = None
+    min_window: int = 16
+    reprovision_after: int = 0
+    flush_every: int = 0
+    evict_idle_sweeps: int = 0
+
+    def __post_init__(self):
+        for name in ("check_every", "refresh_every", "reprovision_after",
+                     "flush_every", "evict_idle_sweeps"):
+            _check_count(getattr(self, name), name)
+        _check_rate(self.max_unembeddable_rate, "max_unembeddable_rate")
+        _check_rate(self.min_update_rate, "min_update_rate")
+        if isinstance(self.min_window, bool) or not isinstance(self.min_window, int) \
+                or self.min_window < 1:
+            raise ValueError(f"min_window must be an integer >= 1, got {self.min_window!r}")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def is_noop(self) -> bool:
+        """True when a controller running this policy can never act."""
+        return self.check_every == 0 and self.evict_idle_sweeps == 0
+
+    def wants_refresh(self) -> bool:
+        """True when any clause can demand a coordinated refresh (and the
+        pipeline therefore must be refresh-capable)."""
+        return bool(self.check_every) and (
+            bool(self.refresh_every)
+            or self.max_unembeddable_rate is not None
+            or self.min_update_rate is not None)
+
+    # ------------------------------------------------------------------
+    # JSON round trip
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        out: dict = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if value != f.default:
+                out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "MaintenancePolicy":
+        if not isinstance(data, Mapping):
+            raise ValueError(f"maintenance policy must be a mapping, got "
+                             f"{type(data).__name__}")
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"maintenance policy has unknown keys {sorted(unknown)}; "
+                             f"known keys: {', '.join(sorted(known))}")
+        return cls(**dict(data))
+
+    def to_json(self, indent: int = 1) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "MaintenancePolicy":
+        return cls.from_dict(json.loads(text))
+
+    def describe(self) -> str:
+        """One-line human summary of the active clauses."""
+        if self.is_noop():
+            return "no-op"
+        clauses = []
+        if self.refresh_every:
+            clauses.append(f"refresh every {self.refresh_every}")
+        if self.max_unembeddable_rate is not None:
+            clauses.append(f"refresh if unembeddable > {self.max_unembeddable_rate:g}")
+        if self.min_update_rate is not None:
+            clauses.append(f"refresh if update rate < {self.min_update_rate:g}")
+        if self.reprovision_after:
+            clauses.append(f"reprovision after {self.reprovision_after} stuck refreshes")
+        if self.flush_every:
+            clauses.append(f"flush every {self.flush_every}")
+        if self.evict_idle_sweeps:
+            clauses.append(f"evict after {self.evict_idle_sweeps} idle sweeps")
+        head = f"check every {self.check_every}: " if self.check_every else ""
+        return head + ("; ".join(clauses) or "no-op")

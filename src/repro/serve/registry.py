@@ -23,9 +23,15 @@ from repro.serve.checkpoint import (
     save_checkpoint,
 )
 
-__all__ = ["ModelRegistry", "validate_tenant_id"]
+__all__ = ["ModelRegistry", "RESERVOIR_METADATA_KEY", "validate_tenant_id"]
 
 _TENANT_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$")
+
+# Checkpoint-metadata key the fleet stores its per-tenant recent-inlier
+# reservoir under.  Serve-internal: :meth:`ModelRegistry.metadata`
+# strips it so user metadata round-trips clean; read the raw manifest to
+# see it.
+RESERVOIR_METADATA_KEY = "fleet_reservoir"
 
 
 def validate_tenant_id(tenant_id: str) -> str:
@@ -86,8 +92,14 @@ class ModelRegistry:
         return read_manifest(self.path_for(tenant_id))
 
     def metadata(self, tenant_id: str) -> dict:
-        """Just the user metadata stored with the tenant's checkpoint."""
-        return self.manifest(tenant_id).get("metadata", {})
+        """Just the *user* metadata stored with the tenant's checkpoint.
+
+        Serve-internal keys (the fleet's inlier reservoir) are stripped;
+        :meth:`manifest` exposes the raw stored mapping.
+        """
+        metadata = dict(self.manifest(tenant_id).get("metadata", {}))
+        metadata.pop(RESERVOIR_METADATA_KEY, None)
+        return metadata
 
     def tenants(self) -> list[str]:
         """Sorted ids of every tenant with a complete checkpoint."""

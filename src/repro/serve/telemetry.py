@@ -29,9 +29,12 @@ class TenantStats:
     loads: int = 0             # checkpoint loads (cache misses)
     saves: int = 0             # checkpoint write-backs
     evictions: int = 0         # LRU evictions
+    refreshes: int = 0         # coordinated refreshes (cache rebuild + refit)
+    reprovisions: int = 0      # full refits from the recent-inlier reservoir
     observe_seconds: float = 0.0
     load_seconds: float = 0.0
     save_seconds: float = 0.0
+    refresh_seconds: float = 0.0
 
     def as_dict(self) -> dict:
         return {f.name: getattr(self, f.name) for f in fields(self)}
@@ -96,6 +99,18 @@ class FleetTelemetry:
     def record_eviction(self, tenant_id: str) -> None:
         with self._lock:
             self._tenant(tenant_id).evictions += 1
+
+    def record_refresh(self, tenant_id: str, seconds: float = 0.0) -> None:
+        with self._lock:
+            stats = self._tenant(tenant_id)
+            stats.refreshes += 1
+            stats.refresh_seconds += seconds
+
+    def record_reprovision(self, tenant_id: str, seconds: float = 0.0) -> None:
+        with self._lock:
+            stats = self._tenant(tenant_id)
+            stats.reprovisions += 1
+            stats.refresh_seconds += seconds
 
     def retire(self, tenant_id: str) -> None:
         """Fold a no-longer-resident tenant's counters into the aggregate."""

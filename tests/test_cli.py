@@ -93,6 +93,97 @@ class TestTrainEvalServe:
                    "--events", str(events)) == 2
 
 
+class TestMaintain:
+    @pytest.fixture()
+    def registry_root(self, tmp_path):
+        """Two refresh-capable tenants trained through the CLI."""
+        records_path = tmp_path / "train.jsonl"
+        save_records(synthetic_records(30, seed=0, center=2.0), records_path)
+        spec_path = tmp_path / "spec.json"
+        spec = {"spec_version": 1, "model": {"name": "gem", "params": {
+            "bisage": {"dim": 8, "epochs": 1}}}}
+        spec_path.write_text(json.dumps(spec))
+        root = tmp_path / "reg"
+        for tenant in ("t1", "t2"):
+            assert run("train", "--spec", str(spec_path),
+                       "--records", str(records_path),
+                       "--registry", str(root), "--tenant", tenant) == 0
+        return root
+
+    def test_dry_run_reports_capability_and_reservoir(self, registry_root, capsys):
+        assert run("maintain", "--registry", str(registry_root), "--dry-run") == 0
+        out = capsys.readouterr().out
+        assert "t1" in out and "t2" in out
+        assert "model gem" in out
+        assert "yes" in out          # refresh-capable
+        assert "30" in out           # reservoir seeded from training records
+
+    def test_refresh_all_tenants(self, registry_root, tmp_path, capsys):
+        report = tmp_path / "report.json"
+        assert run("maintain", "--registry", str(registry_root),
+                   "--json", str(report)) == 0
+        payload = json.loads(report.read_text())
+        assert set(payload) == {"t1", "t2"}
+        for entry in payload.values():
+            assert entry["status"] == "refresh"
+            assert "refit on 30" in entry["outcome"]
+
+    def test_refresh_is_persisted(self, registry_root, capsys):
+        from repro.serve import ModelRegistry
+        before = ModelRegistry(registry_root).manifest("t1")["save_id"]
+        assert run("maintain", "--registry", str(registry_root),
+                   "--tenants", "t1") == 0
+        after = ModelRegistry(registry_root).manifest("t1")["save_id"]
+        assert after != before
+
+    def test_reprovision_action(self, registry_root, capsys):
+        assert run("maintain", "--registry", str(registry_root),
+                   "--tenants", "t1", "--action", "reprovision") == 0
+        assert "refitted GEM from reservoir" in capsys.readouterr().out
+
+    def test_tenant_without_reservoir_is_skipped(self, tmp_path, capsys):
+        """Legacy checkpoints (no reservoir) report, not crash."""
+        from repro.serve import ModelRegistry
+        from repro.pipeline import build_pipeline, PipelineSpec
+        spec = PipelineSpec.from_dict({"model": {"name": "gem", "params": {
+            "bisage": {"dim": 8, "epochs": 1}}}})
+        model = build_pipeline(spec)
+        model.fit(synthetic_records(20, seed=0, center=2.0))
+        root = tmp_path / "reg"
+        ModelRegistry(root).save("legacy", model)
+        assert run("maintain", "--registry", str(root)) == 0
+        out = capsys.readouterr().out
+        assert "skipped" in out
+
+    def test_dry_run_handles_format1_checkpoint(self, tmp_path, capsys):
+        """Format-1 manifests (no embedded spec) migrate in the report."""
+        from repro.core.config import GEMConfig
+        from repro.core.gem import GEM
+        from repro.embedding.bisage import BiSAGEConfig
+        from repro.serve import save_checkpoint
+        from repro.serve.checkpoint import MANIFEST_NAME
+        model = GEM(GEMConfig(bisage=BiSAGEConfig(dim=8, epochs=1)))
+        model.fit(synthetic_records(20, seed=0, center=2.0))
+        root = tmp_path / "reg"
+        directory = save_checkpoint(model, root / "legacy")
+        manifest_path = directory / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format_version"] = 1
+        del manifest["pipeline_spec"]
+        manifest_path.write_text(json.dumps(manifest))
+        assert run("maintain", "--registry", str(root), "--dry-run") == 0
+        out = capsys.readouterr().out
+        assert "legacy" in out and "model gem" in out
+
+    def test_unknown_tenant_exits_two(self, registry_root, capsys):
+        assert run("maintain", "--registry", str(registry_root),
+                   "--tenants", "nobody") == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_empty_registry_exits_two(self, tmp_path, capsys):
+        assert run("maintain", "--registry", str(tmp_path / "empty")) == 2
+
+
 class TestDrift:
     def test_small_drift_run_emits_trajectories(self, tmp_path, capsys):
         json_path = tmp_path / "drift.json"

@@ -125,6 +125,46 @@ class TestFleetReplay:
         # The equivalence is only meaningful if reloads actually happened.
         assert loads >= harness.timeline.num_epochs
 
+    def test_noop_controller_matches_plain_online_bit_for_bit(self, tmp_path):
+        """A controller under the no-op policy must be pure observation."""
+        from repro.serve import FleetController
+        harness = small_harness()
+        spec = small_gem_spec()
+        plain = harness.run(build_pipeline(spec), label="plain", online=True)
+        with GeofenceFleet(tmp_path / "registry", capacity=1) as fleet:
+            fleet.provision("tenant-a", harness.training_records(), spec=spec)
+            controller = FleetController(fleet)
+            controlled = harness.run_fleet(fleet, "tenant-a",
+                                           controller=controller)
+        assert [m.to_dict() for m in controlled.epochs] == \
+               [m.to_dict() for m in plain.epochs]
+        assert controller.actions == []
+        assert controlled.meta["maintenance"] == {}
+        # The control plane still saw every decision go by.
+        totals = controller.telemetry.totals()
+        assert totals.observations == sum(m.num_records for m in plain.epochs)
+
+    def test_refresh_policy_executes_and_is_recorded(self, tmp_path):
+        """A scheduled-refresh controller acts mid-replay and survives the
+        forced evict/reload cycle (the reservoir rides the checkpoint)."""
+        from repro.serve import FleetController, MaintenancePolicy
+        harness = small_harness()
+        spec = small_gem_spec()
+        per_epoch = len(harness.epoch_records(0))
+        policy = MaintenancePolicy(check_every=max(per_epoch // 2, 1),
+                                   refresh_every=per_epoch)
+        with GeofenceFleet(tmp_path / "registry", capacity=1,
+                           reservoir_size=64) as fleet:
+            fleet.provision("tenant-a", harness.training_records(), spec=spec)
+            controller = FleetController(fleet, policy)
+            result = harness.run_fleet(fleet, "tenant-a", controller=controller)
+            refreshes = fleet.telemetry.totals().refreshes
+        assert refreshes >= harness.timeline.num_epochs - 1
+        recorded = [a for acts in result.meta["maintenance"].values() for a in acts]
+        assert recorded.count("refresh") == refreshes
+        for m in result.epochs:
+            assert m.auc is None or 0.0 <= m.auc <= 1.0
+
 
 class TestRecovery:
     @staticmethod

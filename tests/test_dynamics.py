@@ -9,6 +9,7 @@ from repro.rf.dynamics import (
     DeviceGainDrift,
     DynamicsTimeline,
     MacRandomization,
+    MarkovOnOff,
     TransientHotspots,
     TxPowerDrift,
     build_schedule,
@@ -214,10 +215,69 @@ class TestDeviceGainDrift:
         assert len(set(gains)) > 1
 
 
+class TestMarkovOnOff:
+    def test_off_aps_return_with_identical_macs(self):
+        """Unlike churn, an OFF AP is the *same* device when it returns."""
+        scenario = small_scenario()
+        baseline = {ap.ap_id: ap.macs for ap in scenario.environment.aps}
+        timeline = DynamicsTimeline(scenario, [MarkovOnOff(p=0.6, q=0.6)],
+                                    num_epochs=8, seed=1)
+        seen_off = seen_return = False
+        previous = set(baseline)
+        for world in timeline:
+            ids = {ap.ap_id for ap in world.environment.aps}
+            assert ids <= set(baseline)
+            if len(ids) < len(baseline):
+                seen_off = True
+            if ids - previous:
+                seen_return = True
+            for ap in world.environment.aps:
+                assert ap.macs == baseline[ap.ap_id]
+            previous = ids
+        assert seen_off and seen_return
+
+    def test_protect_pins_aps_on(self):
+        scenario = small_scenario()
+        protect = tuple(ap.ap_id for ap in scenario.environment.aps)[:2]
+        timeline = DynamicsTimeline(scenario, [MarkovOnOff(p=1.0, q=0.0,
+                                                           protect=protect)],
+                                    num_epochs=4, seed=0)
+        for world in timeline:
+            ids = {ap.ap_id for ap in world.environment.aps}
+            assert set(protect) <= ids
+
+    def test_never_empties_world(self):
+        scenario = small_scenario()
+        timeline = DynamicsTimeline(scenario, [MarkovOnOff(p=1.0, q=0.0)],
+                                    num_epochs=5, seed=0)
+        for world in timeline:
+            assert len(world.environment.aps) >= 1
+
+    def test_stationary_probability(self):
+        assert MarkovOnOff(p=0.2, q=0.6).stationary_on_probability() == pytest.approx(0.75)
+        assert MarkovOnOff(p=0.0, q=0.0).stationary_on_probability() == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MarkovOnOff(p=1.5)
+        with pytest.raises(ValueError):
+            MarkovOnOff(q=-0.1)
+
+    def test_off_aps_escape_concurrent_churn(self):
+        """A powered-down AP is invisible to other schedules while OFF."""
+        scenario = small_scenario()
+        baseline_ids = {ap.ap_id for ap in scenario.environment.aps}
+        timeline = DynamicsTimeline(
+            scenario, [MarkovOnOff(p=0.5, q=0.5), APChurn(rate=0.0)],
+            num_epochs=6, seed=3)
+        for world in timeline:
+            assert {ap.ap_id for ap in world.environment.aps} <= baseline_ids
+
+
 class TestDeclarativeRegistry:
     @pytest.mark.parametrize("name", ["ap-churn", "churn-shock", "tx-power-drift",
-                                      "mac-randomization", "transient-hotspots",
-                                      "device-gain-drift"])
+                                      "mac-randomization", "markov-onoff",
+                                      "transient-hotspots", "device-gain-drift"])
     def test_round_trip(self, name):
         schedule = build_schedule(name, {"epoch": 2} if name == "churn-shock" else {})
         back_name, params = schedule_to_spec(schedule)

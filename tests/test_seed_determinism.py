@@ -29,6 +29,7 @@ SCHEDULE_PARAMS = {
     "churn-shock": {"epoch": 1, "fraction": 0.5},
     "tx-power-drift": {"sigma_db": 1.0},
     "mac-randomization": {"cohort_fraction": 0.5, "period": 1},
+    "markov-onoff": {"p": 0.5, "q": 0.5},
     "transient-hotspots": {"max_active": 5},
     "device-gain-drift": {"sigma_db": 1.0},
 }

@@ -1,0 +1,513 @@
+"""Control plane: MaintenancePolicy, FleetController, coordinated refresh."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from conftest import synthetic_records
+from repro.core.config import GEMConfig
+from repro.core.protocols import GeofenceDecision
+from repro.core.records import SignalRecord
+from repro.embedding.bisage import BiSAGEConfig
+from repro.pipeline import ComponentSpec, PipelineSpec, build_pipeline
+from repro.serve import (
+    RESERVOIR_METADATA_KEY,
+    FleetController,
+    GeofenceFleet,
+    MaintenancePolicy,
+    ModelRegistry,
+)
+
+SMALL_GEM = GEMConfig(bisage=BiSAGEConfig(dim=8, epochs=1))
+
+
+def small_gem_spec() -> PipelineSpec:
+    return PipelineSpec(model=ComponentSpec("gem", SMALL_GEM.to_dict()))
+
+
+def inside(score: float = 0.1, buffered: bool = False) -> GeofenceDecision:
+    return GeofenceDecision(inside=True, score=score, buffered=buffered)
+
+
+def unembeddable() -> GeofenceDecision:
+    return GeofenceDecision(inside=False, score=math.inf)
+
+
+class StubFleet:
+    """Records control-plane calls without any models behind them."""
+
+    def __init__(self, refresh_error: Exception | None = None):
+        self.calls: list[tuple] = []
+        self.refresh_error = refresh_error
+        self._dirty: set[str] = set()
+        self.resident_tenants: list[str] = []
+
+    def refresh(self, tenant_id):
+        if self.refresh_error is not None:
+            raise self.refresh_error
+        self.calls.append(("refresh", tenant_id))
+        return 1
+
+    def reprovision(self, tenant_id):
+        self.calls.append(("reprovision", tenant_id))
+
+    def flush(self, tenant_id=None):
+        self.calls.append(("flush", tenant_id))
+        self._dirty.discard(tenant_id)
+        return 1
+
+    def evict(self, tenant_id):
+        self.calls.append(("evict", tenant_id))
+        self.resident_tenants = [t for t in self.resident_tenants if t != tenant_id]
+        return True
+
+    def is_dirty(self, tenant_id):
+        return tenant_id in self._dirty
+
+    def resident(self, tenant_id):
+        return None
+
+    def of(self, kind: str) -> list[str]:
+        return [tid for action, tid in self.calls if action == kind]
+
+
+# ----------------------------------------------------------------------
+# MaintenancePolicy
+# ----------------------------------------------------------------------
+class TestPolicy:
+    def test_defaults_are_noop(self):
+        policy = MaintenancePolicy()
+        assert policy.is_noop()
+        assert not policy.wants_refresh()
+        assert policy.to_dict() == {}
+        assert policy.describe() == "no-op"
+
+    def test_json_round_trip(self):
+        policy = MaintenancePolicy(check_every=10, refresh_every=100,
+                                   max_unembeddable_rate=0.3, min_update_rate=0.05,
+                                   min_window=20, reprovision_after=2,
+                                   flush_every=50, evict_idle_sweeps=3)
+        assert MaintenancePolicy.from_json(policy.to_json()) == policy
+        assert MaintenancePolicy.from_dict(json.loads(json.dumps(policy.to_dict()))) == policy
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown keys"):
+            MaintenancePolicy.from_dict({"refresh_cadence": 5})
+
+    @pytest.mark.parametrize("kwargs", [
+        {"check_every": -1}, {"refresh_every": -2}, {"min_window": 0},
+        {"max_unembeddable_rate": 1.5}, {"min_update_rate": -0.1},
+        {"check_every": 1.5}, {"check_every": True},
+        {"max_unembeddable_rate": True},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            MaintenancePolicy(**kwargs)
+
+    def test_wants_refresh_needs_check_every(self):
+        # Clauses without an evaluation cadence can never fire.
+        assert not MaintenancePolicy(refresh_every=10).wants_refresh()
+        assert MaintenancePolicy(check_every=5, refresh_every=10).wants_refresh()
+        assert MaintenancePolicy(check_every=5, max_unembeddable_rate=0.5).wants_refresh()
+        assert not MaintenancePolicy(check_every=5, flush_every=10).wants_refresh()
+
+    def test_describe_mentions_clauses(self):
+        text = MaintenancePolicy(check_every=5, refresh_every=10,
+                                 reprovision_after=2).describe()
+        assert "refresh every 10" in text and "reprovision" in text
+
+
+class TestPolicyInPipelineSpec:
+    def policy(self) -> MaintenancePolicy:
+        return MaintenancePolicy(check_every=8, refresh_every=64, flush_every=32)
+
+    def test_round_trip_through_spec(self):
+        spec = PipelineSpec(model=ComponentSpec("gem"), maintenance=self.policy())
+        spec.validate()
+        back = PipelineSpec.from_json(spec.to_json())
+        assert back == spec
+        assert back.maintenance == self.policy()
+
+    def test_spec_accepts_plain_mapping(self):
+        spec = PipelineSpec(model=ComponentSpec("gem"),
+                            maintenance={"check_every": 4, "refresh_every": 16})
+        assert isinstance(spec.maintenance, MaintenancePolicy)
+        assert spec.maintenance.refresh_every == 16
+
+    def test_spec_without_maintenance_unchanged(self):
+        spec = PipelineSpec(model=ComponentSpec("gem"))
+        assert "maintenance" not in spec.to_dict()
+        assert PipelineSpec.from_json(spec.to_json()) == spec
+
+    def test_refresh_policy_rejected_on_non_refreshable_arm(self):
+        spec = PipelineSpec(embedder=ComponentSpec("mds"),
+                            detector=ComponentSpec("histogram"),
+                            self_update=False, maintenance=self.policy())
+        with pytest.raises(ValueError, match="not refresh-capable"):
+            spec.validate()
+        with pytest.raises(ValueError, match="not refresh-capable"):
+            PipelineSpec(model=ComponentSpec("inoa"),
+                         maintenance=self.policy()).validate()
+
+    def test_flush_only_policy_allowed_anywhere(self):
+        PipelineSpec(model=ComponentSpec("inoa"),
+                     maintenance=MaintenancePolicy(check_every=4,
+                                                   flush_every=8)).validate()
+
+    def test_supports_refresh_capability(self):
+        assert small_gem_spec().supports_refresh()
+        assert PipelineSpec(embedder=ComponentSpec("bisage"),
+                            detector=ComponentSpec("lof"),
+                            self_update=False).supports_refresh()
+        assert not PipelineSpec(embedder=ComponentSpec("imputed-matrix"),
+                                detector=ComponentSpec("histogram")).supports_refresh()
+        assert not PipelineSpec(model=ComponentSpec("signature-home")).supports_refresh()
+
+
+# ----------------------------------------------------------------------
+# Controller triggering (stub fleet: pure policy arithmetic)
+# ----------------------------------------------------------------------
+class TestControllerTriggers:
+    def test_noop_policy_never_acts(self):
+        fleet = StubFleet()
+        controller = FleetController(fleet)
+        for _ in range(500):
+            assert controller.step("t", inside()) == []
+        assert fleet.calls == []
+
+    def test_scheduled_refresh_fires_on_cadence(self):
+        fleet = StubFleet()
+        controller = FleetController(
+            fleet, MaintenancePolicy(check_every=10, refresh_every=100))
+        acted_at = []
+        for i in range(1, 301):
+            if "refresh" in controller.step("t", inside()):
+                acted_at.append(i)
+        assert acted_at == [100, 200, 300]
+        assert fleet.of("refresh") == ["t", "t", "t"]
+
+    def test_unembeddable_rate_trigger(self):
+        fleet = StubFleet()
+        controller = FleetController(
+            fleet, MaintenancePolicy(check_every=10, min_window=10,
+                                     max_unembeddable_rate=0.4))
+        # Clean traffic: no refresh.
+        for _ in range(100):
+            controller.step("t", inside())
+        assert fleet.of("refresh") == []
+        # A window where most records are footnote-3 unembeddable: refresh.
+        actions = []
+        for _ in range(10):
+            actions += controller.step("t", unembeddable())
+        assert actions == ["refresh"]
+
+    def test_update_rate_trigger(self):
+        fleet = StubFleet()
+        controller = FleetController(
+            fleet, MaintenancePolicy(check_every=10, min_window=10,
+                                     min_update_rate=0.5))
+        # Healthy: most observations enter the self-update buffer.
+        for _ in range(50):
+            controller.step("t", inside(buffered=True))
+        assert fleet.of("refresh") == []
+        # The detector stops trusting its inliers: update rate collapses.
+        actions = []
+        for _ in range(10):
+            actions += controller.step("t", inside(buffered=False))
+        assert actions == ["refresh"]
+
+    def test_min_window_gates_rate_triggers(self):
+        fleet = StubFleet()
+        controller = FleetController(
+            fleet, MaintenancePolicy(check_every=2, min_window=50,
+                                     max_unembeddable_rate=0.1))
+        for _ in range(20):
+            controller.step("t", unembeddable())
+        # Rate is 100% but the window is too small to be trusted.
+        assert fleet.of("refresh") == []
+
+    def test_rate_window_accumulates_across_short_checks(self):
+        """check_every < min_window must delay triggers, not disable them:
+        the window accumulates across evaluations until it is trustable."""
+        fleet = StubFleet()
+        controller = FleetController(
+            fleet, MaintenancePolicy(check_every=2, min_window=50,
+                                     max_unembeddable_rate=0.1))
+        fired_at = []
+        for i in range(1, 121):
+            if "refresh" in controller.step("t", unembeddable()):
+                fired_at.append(i)
+        assert fired_at[0] == 50          # first trustable window
+        assert fired_at[1] == 100         # window resets after firing
+
+    def test_controller_refresh_policy_on_non_capable_tenant_is_recorded(self):
+        fleet = StubFleet(refresh_error=TypeError("no coordinated refresh capability"))
+        controller = FleetController(
+            fleet, MaintenancePolicy(check_every=5, refresh_every=10))
+        actions = []
+        for _ in range(20):
+            actions += controller.step("t", inside())
+        # The serving loop survives; the incapacity is visible, not fatal.
+        assert actions and all(a.startswith("refresh-failed") for a in actions)
+
+    def test_failed_triggered_refreshes_still_escalate_to_reprovision(self):
+        """A tenant whose refreshes cannot succeed (e.g. no capability)
+        must still reach the reprovision escape hatch."""
+        fleet = StubFleet(refresh_error=TypeError("no coordinated refresh capability"))
+        controller = FleetController(
+            fleet, MaintenancePolicy(check_every=10, min_window=10,
+                                     max_unembeddable_rate=0.4,
+                                     reprovision_after=2))
+        actions = []
+        for _ in range(30):
+            actions += controller.step("t", unembeddable())
+        assert actions[0].startswith("refresh-failed")
+        assert actions[1].startswith("refresh-failed")
+        assert actions[2] == "reprovision"
+        assert fleet.of("reprovision") == ["t"]
+
+    def test_reprovision_escalation_after_stuck_refreshes(self):
+        fleet = StubFleet()
+        controller = FleetController(
+            fleet, MaintenancePolicy(check_every=10, min_window=10,
+                                     max_unembeddable_rate=0.4,
+                                     reprovision_after=2))
+        actions = []
+        for _ in range(60):
+            actions += controller.step("t", unembeddable())
+        # Two triggered refreshes that didn't clear the trigger, then
+        # escalate; the cycle repeats while the trigger stays hot.
+        assert actions == ["refresh", "refresh", "reprovision"] * 2
+        assert fleet.of("reprovision") == ["t", "t"]
+
+    def test_refresh_failure_is_recorded_not_raised(self):
+        fleet = StubFleet(refresh_error=ValueError("empty reservoir"))
+        controller = FleetController(
+            fleet, MaintenancePolicy(check_every=10, refresh_every=10))
+        actions = []
+        for _ in range(30):
+            actions += controller.step("t", inside())
+        assert actions and all(a.startswith("refresh-failed") for a in actions)
+        # Back-off: one failure per refresh interval, not per observation.
+        assert len(actions) == 3
+
+    def test_flush_cadence(self):
+        fleet = StubFleet()
+        fleet._dirty.add("t")
+        controller = FleetController(
+            fleet, MaintenancePolicy(check_every=10, flush_every=20))
+        flushed_at = []
+        for i in range(1, 41):
+            fleet._dirty.add("t")
+            if "flush" in controller.step("t", inside()):
+                flushed_at.append(i)
+        assert flushed_at == [20, 40]
+
+    def test_per_tenant_policy_overrides_default(self):
+        fleet = StubFleet()
+        controller = FleetController(
+            fleet, MaintenancePolicy(),  # default: no-op
+            policies={"busy": MaintenancePolicy(check_every=5, refresh_every=5)})
+        for _ in range(10):
+            controller.step("quiet", inside())
+            controller.step("busy", inside())
+        assert fleet.of("refresh") == ["busy", "busy"]
+
+    def test_maintain_evicts_idle_tenants(self):
+        fleet = StubFleet()
+        fleet.resident_tenants = ["idle", "busy"]
+        controller = FleetController(
+            fleet, MaintenancePolicy(check_every=1, evict_idle_sweeps=2))
+        controller.step("busy", inside())
+        controller.step("idle", inside())
+        assert controller.maintain() == {}          # both saw traffic
+        controller.step("busy", inside())
+        assert controller.maintain() == {}          # idle: 1 sweep
+        controller.step("busy", inside())
+        out = controller.maintain()                 # idle: 2 sweeps -> evict
+        assert out == {"idle": ["evict-idle"]}
+        assert fleet.of("evict") == ["idle"]
+
+
+# ----------------------------------------------------------------------
+# Coordinated refresh through real pipelines and fleets
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def train_records():
+    return synthetic_records(40, seed=0, center=2.0)
+
+
+@pytest.fixture(scope="module")
+def drift_records():
+    return synthetic_records(12, seed=9, center=2.4)
+
+
+class TestCoordinatedRefresh:
+    def fitted(self, train_records):
+        model = build_pipeline(small_gem_spec())
+        model.fit(train_records)
+        return model
+
+    def test_refresh_determinism(self, train_records, drift_records):
+        """Same seed + same records -> bit-identical post-refresh scores."""
+        probe = synthetic_records(5, seed=3, center=2.0)
+        one, two = self.fitted(train_records), self.fitted(train_records)
+        for model in (one, two):
+            for record in drift_records:
+                model.observe(record)
+            assert model.refresh(train_records) > 0
+        assert [one.score(r) for r in probe] == [two.score(r) for r in probe]
+
+    def test_refresh_refits_detector_on_reservoir(self, train_records):
+        model = self.fitted(train_records)
+        before = model.detector.num_samples
+        absorbed = model.refresh(train_records[:17])
+        assert absorbed == 17
+        assert model.detector.num_samples == 17 != before
+        assert model.detector.num_updates == 0
+        assert model.pending_updates == 0
+
+    def test_refresh_atomic_on_unembeddable_reservoir(self, train_records):
+        model = self.fitted(train_records)
+        probe = synthetic_records(5, seed=3, center=2.0)
+        before = [model.score(r) for r in probe]
+        detector_before, embedder_before = model.detector, model.embedder
+        with pytest.raises(ValueError, match="pre-refresh state"):
+            model.refresh([SignalRecord({"ff:ff:ff:ff:ff:01": -40.0})])
+        assert model.detector is detector_before
+        assert model.embedder is embedder_before
+        assert [model.score(r) for r in probe] == before
+
+    def test_refresh_atomic_on_detector_exception(self, train_records, monkeypatch):
+        model = self.fitted(train_records)
+        probe = synthetic_records(5, seed=3, center=2.0)
+        before = [model.score(r) for r in probe]
+        monkeypatch.setattr(type(model.detector), "refit",
+                            lambda self, x: (_ for _ in ()).throw(RuntimeError("boom")))
+        with pytest.raises(RuntimeError, match="boom"):
+            model.refresh(train_records)
+        monkeypatch.undo()
+        assert [model.score(r) for r in probe] == before
+
+    def test_refresh_requires_capability(self, train_records):
+        spec = PipelineSpec(embedder=ComponentSpec("imputed-matrix"),
+                            detector=ComponentSpec("histogram"))
+        model = build_pipeline(spec)
+        model.fit(train_records)
+        assert not model.supports_refresh()
+        with pytest.raises(TypeError, match="refresh"):
+            model.refresh(train_records)
+
+    def test_refresh_rejects_empty(self, train_records):
+        model = self.fitted(train_records)
+        with pytest.raises(ValueError, match="at least one"):
+            model.refresh([])
+
+
+class TestFleetMaintenance:
+    def test_provision_seeds_reservoir_and_refresh_uses_it(self, tmp_path, train_records):
+        with GeofenceFleet(tmp_path / "reg", capacity=2, reservoir_size=16) as fleet:
+            fleet.provision("a", train_records, spec=small_gem_spec())
+            assert len(fleet.reservoir("a")) == 16        # last 16 training records
+            absorbed = fleet.refresh("a")
+            assert absorbed == 16
+            assert fleet.telemetry.tenant("a").refreshes == 1
+            assert fleet.is_dirty("a")
+
+    def test_reservoir_survives_evict_reload(self, tmp_path, train_records, drift_records):
+        registry = ModelRegistry(tmp_path / "reg")
+        with GeofenceFleet(registry, capacity=2, reservoir_size=8) as fleet:
+            fleet.provision("a", train_records, spec=small_gem_spec())
+            for record in drift_records:
+                fleet.observe("a", record)
+            resident = [r.readings for r in fleet.reservoir("a")]
+            fleet.evict("a")
+            assert "a" not in fleet._anchors and "a" not in fleet._recent
+            # Reload restores the reservoir from the checkpoint manifest.
+            reloaded = [r.readings for r in fleet.reservoir("a")]
+            assert reloaded == resident
+            # ...and user-facing metadata stays clean of the internal key.
+            assert RESERVOIR_METADATA_KEY not in registry.metadata("a")
+            assert RESERVOIR_METADATA_KEY in registry.manifest("a")["metadata"]
+
+    def test_outside_and_unembeddable_records_never_enter_reservoir(
+            self, tmp_path, train_records):
+        with GeofenceFleet(tmp_path / "reg", capacity=2, reservoir_size=64) as fleet:
+            fleet.provision("a", train_records, spec=small_gem_spec())
+            seeded = len(fleet.reservoir("a"))
+            fleet.observe("a", SignalRecord({"ff:ff:ff:ff:ff:01": -40.0}))  # +inf
+            far = synthetic_records(3, seed=11, center=60.0)                 # outliers
+            for record in far:
+                fleet.observe("a", record)
+            reservoir = fleet.reservoir("a")
+            assert len(reservoir) <= seeded + 3
+            assert all(r.readings != {"ff:ff:ff:ff:ff:01": -40.0} for r in reservoir)
+
+    def test_reprovision_refits_from_reservoir(self, tmp_path, train_records):
+        with GeofenceFleet(tmp_path / "reg", capacity=2, reservoir_size=32) as fleet:
+            old = fleet.provision("a", train_records, spec=small_gem_spec())
+            fresh = fleet.reprovision("a")
+            assert fresh is not old
+            assert fleet.resident("a") is fresh
+            assert fleet.telemetry.tenant("a").reprovisions == 1
+            # The replacement serves immediately and is persisted on evict.
+            record = synthetic_records(1, seed=2, center=2.0)[0]
+            fleet.observe("a", record)
+            fleet.evict("a")
+            assert fleet.score("a", record) == fresh.score(record)
+
+    def test_refresh_without_reservoir_raises(self, tmp_path, train_records):
+        with GeofenceFleet(tmp_path / "reg", capacity=2, reservoir_size=0) as fleet:
+            fleet.provision("a", train_records, spec=small_gem_spec())
+            with pytest.raises(ValueError, match="reservoir"):
+                fleet.refresh("a")
+
+    def test_reservoirless_fleet_preserves_persisted_reservoir(
+            self, tmp_path, train_records):
+        """A reservoir_size=0 fleet's write-backs must carry the persisted
+        anchor forward, not destroy it for future maintaining fleets."""
+        registry = ModelRegistry(tmp_path / "reg")
+        with GeofenceFleet(registry, capacity=2, reservoir_size=16) as fleet:
+            fleet.provision("a", train_records, spec=small_gem_spec())
+        with GeofenceFleet(registry, capacity=2, reservoir_size=0) as fleet:
+            fleet.observe("a", synthetic_records(1, seed=2, center=2.0)[0])
+        # dirty write-back happened with reservoirs disabled...
+        with GeofenceFleet(registry, capacity=2, reservoir_size=16) as fleet:
+            assert len(fleet.reservoir("a")) == 16
+            assert fleet.refresh("a") == 16
+
+    def test_controller_uses_spec_maintenance_block(self, tmp_path, train_records):
+        spec = PipelineSpec(
+            model=ComponentSpec("gem", SMALL_GEM.to_dict()),
+            maintenance=MaintenancePolicy(check_every=4, refresh_every=8))
+        with GeofenceFleet(tmp_path / "reg", capacity=2, reservoir_size=16) as fleet:
+            fleet.provision("a", train_records, spec=spec)
+            controller = FleetController(fleet)   # default policy: no-op
+            stream = synthetic_records(8, seed=5, center=2.0)
+            actions = []
+            for record in stream:
+                actions += controller.step("a", fleet.observe("a", record))
+            assert "refresh" in actions
+            assert fleet.telemetry.tenant("a").refreshes >= 1
+
+
+class TestDeprecatedRefreshFlag:
+    def test_gemconfig_warns(self):
+        with pytest.warns(DeprecationWarning, match="refresh_cache_every"):
+            GEMConfig(refresh_cache_every=50)
+
+    def test_auto_refresh_fire_warns(self, train_records):
+        import warnings
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            config = GEMConfig(bisage=BiSAGEConfig(dim=8, epochs=1),
+                               refresh_cache_every=2)
+        from repro.core.gem import GEM
+        model = GEM(config)
+        model.fit(train_records)
+        stream = synthetic_records(3, seed=7, center=2.0)
+        with pytest.warns(DeprecationWarning, match="without refitting"):
+            for record in stream:
+                model.observe(record)
