@@ -28,6 +28,25 @@ TEST_SESSIONS = 6
 SESSION_S = 80.0
 
 
+def churn_shock_schedules(scenario, shock_epoch: int, fraction: float,
+                          churn: float = 0.04) -> list:
+    """The canonical churn-shock drift workload over ``scenario``.
+
+    Shared between ``bench_drift.py`` (the headline coordinated-refresh
+    comparison) and ``bench_fleet_drift.py``'s admission / worst-case
+    arms so the two benches keep measuring the *same* world: gradual AP
+    churn + TX-power and device-gain drift, with a one-shot replacement
+    of ``fraction`` of the ambient APs at ``shock_epoch``.  The home's
+    own APs are protected throughout.
+    """
+    from repro.rf.dynamics import (APChurn, ChurnShock, DeviceGainDrift,
+                                   TxPowerDrift, home_ap_ids)
+    protect = home_ap_ids(scenario)
+    return [APChurn(rate=churn, protect=protect), TxPowerDrift(),
+            DeviceGainDrift(),
+            ChurnShock(epoch=shock_epoch, fraction=fraction, protect=protect)]
+
+
 def write_result(name: str, text: str) -> None:
     """Persist one benchmark's table; also echo to stdout."""
     RESULTS_DIR.mkdir(exist_ok=True)

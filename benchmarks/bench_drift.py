@@ -30,7 +30,8 @@ Every trajectory also lands as machine-readable JSON under
 import tempfile
 import warnings
 
-from bench_common import FULL, write_json_result, write_result
+from bench_common import (FULL, churn_shock_schedules, write_json_result,
+                          write_result)
 
 from repro.core.config import GEMConfig
 from repro.datasets.users import user_scenario
@@ -39,14 +40,7 @@ from repro.eval.algorithms import arm_spec
 from repro.eval.drift import DriftHarness
 from repro.eval.reporting import format_table
 from repro.pipeline import build_pipeline
-from repro.rf.dynamics import (
-    APChurn,
-    ChurnShock,
-    DeviceGainDrift,
-    DynamicsTimeline,
-    TxPowerDrift,
-    home_ap_ids,
-)
+from repro.rf.dynamics import APChurn, DynamicsTimeline, home_ap_ids
 
 NUM_EPOCHS = 10 if FULL else 8
 SHOCK_EPOCH = 3
@@ -72,10 +66,7 @@ def run_pair(harness: DriftHarness):
 
 def run_churn_shock():
     scenario = user_scenario(3)
-    protect = home_ap_ids(scenario)
-    schedules = [APChurn(rate=0.04, protect=protect), TxPowerDrift(),
-                 DeviceGainDrift(), ChurnShock(epoch=SHOCK_EPOCH, fraction=0.3,
-                                               protect=protect)]
+    schedules = churn_shock_schedules(scenario, SHOCK_EPOCH, 0.3)
     return run_pair(make_harness(schedules, scenario))
 
 
@@ -123,10 +114,7 @@ def run_refresh_comparison():
     from repro.serve import FleetController, GeofenceFleet, MaintenancePolicy
 
     scenario = user_scenario(3)
-    protect = home_ap_ids(scenario)
-    schedules = [APChurn(rate=0.04, protect=protect), TxPowerDrift(),
-                 DeviceGainDrift(), ChurnShock(epoch=SHOCK_EPOCH, fraction=0.3,
-                                               protect=protect)]
+    schedules = churn_shock_schedules(scenario, SHOCK_EPOCH, 0.3)
     harness = make_harness(schedules, scenario)
     per_epoch = len(harness.epoch_records(0))
 

@@ -10,13 +10,30 @@ on every tenant.  Interleaved round-robin traffic forces a load +
 evict/write-back cycle on nearly every touch, which is exactly the
 worst case for checkpoint I/O.
 
-The headline number is **write-back amplification**: checkpoint saves
-during streaming divided by the minimum a lossless fleet needs (one
-final write per tenant).  An amplification of A means every tenant's
-full state hit the registry A times over; it scales with
-``touches per tenant`` (epochs x chunks), not with traffic volume,
-because the LRU makes every touch of a non-resident tenant a full
-reload/write-back round trip.
+The headline number is **write-back amplification**: *full* checkpoint
+saves during streaming divided by the minimum a lossless fleet needs
+(one final write per tenant).  PR 4 pinned it at 8.0 — every touch of a
+non-resident tenant rewrote the tenant's whole model.  With the
+incremental checkpoint format (default here; ``--no-incremental``
+reproduces the old behaviour) an eviction whose state only grew appends
+a delta instead, and full saves happen only at compaction — the bench
+also reports ``bytes_amplification`` (bytes actually written over the
+one-final-write floor) so a "cheap" delta that is secretly 90% of the
+model would show up.
+
+Two satellite arms ride along, both single-tenant drift trajectories
+through the same fleet + controller machinery:
+
+* ``admission``: after a churn shock, compares coordinated refresh with
+  per-MAC support-threshold admission (``admit_new_macs_after=N``)
+  against both extremes — never admit (strict trained universe) and
+  admit on first sight (N=1).
+* ``worst_case``: a mass ambient-AP replacement sweep (shock fractions
+  0.4 / 0.7 / **1.0 — total replacement**), where beyond a cliff
+  refresh alone cannot recover because the trained MAC universe is
+  simply gone; validates the ``reprovision_after`` escalation against a
+  refresh-only policy (ROADMAP open item — the measured answer is that
+  reservoir-fed escalation cannot rescue those worlds either).
 
 Runs standalone (CI smoke: ``python benchmarks/bench_fleet_drift.py
 --quick``) and writes machine-readable results next to the other
@@ -35,16 +52,20 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from bench_common import write_json_result, write_result  # noqa: E402
+from bench_common import (churn_shock_schedules, write_json_result,  # noqa: E402
+                          write_result)
 
 from repro.core.config import GEMConfig  # noqa: E402
 from repro.embedding.bisage import BiSAGEConfig  # noqa: E402
 from repro.eval.drift import DriftHarness  # noqa: E402
 from repro.eval.reporting import format_table  # noqa: E402
 from repro.pipeline import ComponentSpec, PipelineSpec  # noqa: E402
+from repro.datasets.users import user_scenario  # noqa: E402
 from repro.rf.dynamics import APChurn, ChurnShock, DynamicsTimeline  # noqa: E402
 from repro.rf.scenarios import lab_scenario  # noqa: E402
 from repro.serve import FleetController, GeofenceFleet, MaintenancePolicy  # noqa: E402
+from repro.serve.checkpoint import MANIFEST_NAME, save_checkpoint  # noqa: E402
+from repro.serve.registry import ModelRegistry  # noqa: E402
 
 FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
 
@@ -62,6 +83,12 @@ def parse_args(argv=None):
                         help="CI smoke scale: a dozen tenants, two epochs")
     parser.add_argument("--no-maintain", action="store_true",
                         help="skip the per-tenant coordinated-refresh policy")
+    parser.add_argument("--no-incremental", action="store_true",
+                        help="write full checkpoints on every eviction "
+                             "(the pre-incremental behaviour)")
+    parser.add_argument("--skip-arms", action="store_true",
+                        help="run only the amplification fleet, not the "
+                             "admission / worst-case drift arms")
     parser.add_argument("--out", help="also write the JSON payload to this path")
     return parser.parse_args(argv)
 
@@ -89,17 +116,48 @@ def directory_bytes(root: Path) -> int:
     return sum(p.stat().st_size for p in root.rglob("*") if p.is_file())
 
 
-def run(args) -> dict:
+class CountingRegistry(ModelRegistry):
+    """Registry that measures the bytes each write actually lands."""
+
+    def __init__(self, root):
+        super().__init__(root)
+        self.bytes_written = 0
+
+    def save(self, tenant_id, model, metadata=None):
+        path = super().save(tenant_id, model, metadata=metadata)
+        self.bytes_written += directory_bytes(path)
+        return path
+
+    def save_incremental(self, tenant_id, model, baseline, **kwargs):
+        path = self.path_for(tenant_id)
+        kind, new_baseline = super().save_incremental(tenant_id, model, baseline,
+                                                      **kwargs)
+        if kind == "full":
+            self.bytes_written += directory_bytes(path)
+        else:
+            delta = path / f"delta-{new_baseline.tip_id}.npz"
+            self.bytes_written += (path / MANIFEST_NAME).stat().st_size \
+                + delta.stat().st_size
+        return kind, new_baseline
+
+
+# ----------------------------------------------------------------------
+# Main arm: write-back amplification at fleet scale
+# ----------------------------------------------------------------------
+def run_fleet_arm(args) -> dict:
     tenants = args.tenants if args.tenants is not None else \
         (12 if args.quick else 240 if FULL else 120)
     epochs = args.epochs if args.epochs is not None else (2 if args.quick else 4)
     capacity = args.capacity if args.capacity is not None else max(tenants // 8, 2)
     spec = tenant_spec()
+    incremental = not args.no_incremental
 
     harnesses = {f"tenant-{i:04d}": tenant_harness(i, epochs)
                  for i in range(tenants)}
     with tempfile.TemporaryDirectory() as root:
-        fleet = GeofenceFleet(root, capacity=capacity, reservoir_size=64)
+        registry = CountingRegistry(root)
+        fleet = GeofenceFleet(registry, capacity=capacity, reservoir_size=64,
+                              incremental=incremental)
         per_epoch = len(next(iter(harnesses.values())).epoch_records(0))
         policy = MaintenancePolicy() if args.no_maintain else MaintenancePolicy(
             check_every=max(per_epoch // 2, 1), refresh_every=per_epoch)
@@ -110,6 +168,7 @@ def run(args) -> dict:
             fleet.provision(tenant_id, harness.training_records(), spec=spec)
         provision_seconds = time.perf_counter() - t0
         saves_after_provision = fleet.telemetry.totals().saves
+        bytes_after_provision = registry.bytes_written
 
         # Interleaved round-robin: every tenant is touched twice per
         # epoch, and with capacity << tenants each touch is a cold
@@ -131,51 +190,224 @@ def run(args) -> dict:
 
         totals = fleet.telemetry.totals()
         streaming_saves = totals.saves - saves_after_provision
+        streaming_bytes = registry.bytes_written - bytes_after_provision
         registry_bytes = directory_bytes(Path(root))
+        # The one-final-write floor in *bytes*: one compacted full
+        # checkpoint per tenant.  The incremental layout leaves delta
+        # chains on disk, so the raw final size would overstate the
+        # floor; rewrite each tenant once (bypassing the byte counter —
+        # this is the yardstick, not workload) and measure that.
+        for tenant_id in registry.tenants():
+            model, manifest = registry.load_with_manifest(tenant_id)
+            save_checkpoint(model, registry.path_for(tenant_id),
+                            metadata=manifest.get("metadata"))
+        compacted_bytes = directory_bytes(Path(root))
 
-    # Minimum lossless write-back: one final save per tenant.
+    # Minimum lossless write-back: one final (full-state) write per
+    # tenant.  The count-based amplification counts full saves only —
+    # the bytes-based one keeps the deltas honest.
     amplification = streaming_saves / tenants
     payload = {
         "tenants": tenants,
         "epochs": epochs,
         "capacity": capacity,
+        "incremental": incremental,
         "observations": observations,
         "throughput_obs_per_s": observations / stream_seconds,
         "provision_seconds": provision_seconds,
         "stream_seconds": stream_seconds,
         "loads": totals.loads,
         "streaming_saves": streaming_saves,
+        "streaming_delta_saves": totals.delta_saves,
         "write_back_amplification": amplification,
+        "bytes_amplification": streaming_bytes / compacted_bytes,
         "saves_per_1k_observations": 1000.0 * streaming_saves / observations,
         "refreshes": totals.refreshes,
         "refresh_seconds": totals.refresh_seconds,
         "evictions": totals.evictions,
         "registry_bytes_final": registry_bytes,
-        "approx_bytes_written": int(registry_bytes / tenants * streaming_saves),
+        "registry_bytes_compacted": compacted_bytes,
+        "streaming_bytes_written": streaming_bytes,
         "maintained": not args.no_maintain,
     }
     return payload
 
 
+# ----------------------------------------------------------------------
+# Satellite arms: single-tenant drift trajectories under policies
+# ----------------------------------------------------------------------
+def arm_spec() -> PipelineSpec:
+    # The drift arms measure *recovery quality*, so they need the real
+    # model: dim 32 (PR 3's measured finding — thin embeddings slow
+    # recovery) with shortened GNN training.
+    config = GEMConfig(bisage=BiSAGEConfig(epochs=2))
+    return PipelineSpec(model=ComponentSpec("gem", config.to_dict()))
+
+
+def arm_harness(quick: bool, epochs: int, shock_epoch: int, fraction: float,
+                churn: float = 0.04) -> DriftHarness:
+    """The bench_drift churn-shock world (user 3), parameterised shock."""
+    scenario = user_scenario(3)
+    schedules = churn_shock_schedules(scenario, shock_epoch, fraction,
+                                      churn=churn)
+    timeline = DynamicsTimeline(scenario, schedules, num_epochs=epochs, seed=0)
+    if quick:
+        return DriftHarness(timeline, seed=0, train_duration_s=90.0,
+                            sessions_per_epoch=2, session_duration_s=25.0)
+    return DriftHarness(timeline, seed=0, train_duration_s=180.0,
+                        sessions_per_epoch=4, session_duration_s=45.0)
+
+
+def run_policy_arm(harness: DriftHarness, policy: MaintenancePolicy,
+                   label: str, spec: PipelineSpec):
+    with tempfile.TemporaryDirectory() as root:
+        with GeofenceFleet(root, capacity=1, reservoir_size=256,
+                           incremental=True) as fleet:
+            fleet.provision("arm", harness.training_records(), spec=spec)
+            controller = FleetController(fleet, policy)
+            result = harness.run_fleet(fleet, "arm", label=label,
+                                       controller=controller)
+            actions = [action for _, action in controller.actions]
+    result.meta["action_counts"] = {name: actions.count(name)
+                                    for name in sorted(set(actions))}
+    return result
+
+
+def summarise(result, shock_epoch: int) -> dict:
+    tail = [m for m in result.epochs if m.epoch >= shock_epoch]
+    aucs = [m.auc for m in tail if m.auc is not None]
+    return {
+        "label": result.label,
+        "recovery_epochs": result.recovery_after(shock_epoch),
+        "post_shock_mean_auc": float(sum(aucs) / len(aucs)) if aucs else None,
+        "final_auc": result.epochs[-1].auc,
+        "final_fpr": result.epochs[-1].fpr,
+        "actions": result.meta.get("action_counts", {}),
+    }
+
+
+def run_admission_arm(args) -> dict:
+    """Support-threshold MAC admission vs both extremes after a shock."""
+    epochs = 5 if args.quick else 8
+    shock = 2 if args.quick else 3
+    spec = arm_spec()
+    per_epoch_obs = None
+    results = {}
+    for label, admit in (("never", 0), ("after-3", 3), ("first-sight", 1)):
+        harness = arm_harness(args.quick, epochs=epochs, shock_epoch=shock,
+                              fraction=0.3)
+        if per_epoch_obs is None:
+            per_epoch_obs = len(harness.epoch_records(0))
+        policy = MaintenancePolicy(check_every=max(per_epoch_obs // 4, 1),
+                                   refresh_every=max(per_epoch_obs // 2, 1),
+                                   admit_new_macs_after=admit)
+        result = run_policy_arm(harness, policy, label, spec)
+        results[label] = summarise(result, shock)
+    return {"shock_epoch": shock, "epochs": epochs,
+            "shock_fraction": 0.3, "policies": results}
+
+
+def run_worst_case_arm(args) -> dict:
+    """Mass AP replacement: where does refresh stop working, and does
+    the ``reprovision_after`` escalation rescue what refresh cannot?
+
+    Sweeps shock fractions 0.4, 0.7 and 1.0 (total replacement) over
+    identical policies.  Measured answer (pinned by the full-scale
+    assertions in ``main``): **no** — reservoir-fed re-provision shares
+    refresh's failure mode.  At 0.4 (just below the cliff; 0.45 already
+    collapses at this world's density) refresh alone recovers, and
+    escalating mid-recovery actually *hurts*: reprovision re-anchors
+    the reservoir on mixed-world records and each repeat churns the
+    weights.  At 0.7 and 1.0 every decision goes outside, so no new
+    record is ever admitted to the inlier reservoir and *nothing
+    reservoir-based* — refresh or reprovision — has data to recover
+    from; escalation fires exactly as designed and changes nothing.
+    Recovery from a dead world needs fresh training data (an operator
+    re-provision), so the right tuning is ``reprovision_after=0`` with
+    the stuck-trigger streak surfaced as an alert instead.
+    """
+    epochs = 5 if args.quick else 8
+    shock = 2 if args.quick else 3
+    spec = arm_spec()
+    scenarios = {}
+    for fraction in (0.4, 0.7, 1.0):
+        results = {}
+        for label, extra in (("refresh-only", {}),
+                             ("escalate-2", {"min_update_rate": 0.05,
+                                             "reprovision_after": 2})):
+            harness = arm_harness(args.quick, epochs=epochs, shock_epoch=shock,
+                                  fraction=fraction, churn=0.0)
+            per_epoch_obs = len(harness.epoch_records(0))
+            policy = MaintenancePolicy(check_every=max(per_epoch_obs // 4, 1),
+                                       refresh_every=max(per_epoch_obs // 2, 1),
+                                       min_window=max(per_epoch_obs // 4, 8),
+                                       **extra)
+            result = run_policy_arm(harness, policy, label, spec)
+            results[label] = summarise(result, shock)
+        scenarios[f"fraction-{fraction:g}"] = results
+    return {"shock_epoch": shock, "epochs": epochs, "scenarios": scenarios}
+
+
 def main(argv=None) -> int:
     args = parse_args(argv)
-    payload = run(args)
+    payload = run_fleet_arm(args)
+    if not args.skip_arms:
+        payload["admission"] = run_admission_arm(args)
+        payload["worst_case"] = run_worst_case_arm(args)
     rows = [[key, f"{value:.2f}" if isinstance(value, float) else str(value)]
-            for key, value in payload.items()]
+            for key, value in payload.items() if not isinstance(value, dict)]
     write_result("fleet_drift", format_table(
         ["metric", "value"], rows,
         title=f"Fleet drift: {payload['tenants']} tenants, LRU budget "
-              f"{payload['capacity']}, {payload['epochs']} epochs"))
+              f"{payload['capacity']}, {payload['epochs']} epochs"
+              + (" [incremental]" if payload["incremental"] else " [full saves]")))
     write_json_result("fleet_drift", payload)
     if args.out:
         Path(args.out).write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
         print(f"payload written to {args.out}")
     # Smoke-level invariants: the fleet must have actually thrashed (the
     # point of the bench) and served every stream it was given.
-    assert payload["write_back_amplification"] >= 1.0
     assert payload["loads"] >= payload["tenants"]
     if payload["maintained"]:
         assert payload["refreshes"] > 0
+    if payload["incremental"]:
+        # The acceptance bar for the incremental format: full-state
+        # write-backs fall from 8 per tenant to at most 3, and the
+        # bytes written shrink too (deltas must not secretly carry the
+        # whole model every time).
+        assert payload["write_back_amplification"] <= 3.0, payload
+        assert payload["streaming_delta_saves"] > 0
+        # Over the honest floor (one compacted checkpoint per tenant)
+        # the full-save workload writes 8.0 floors' worth of bytes;
+        # deltas must stay well under that, not just under the count.
+        assert payload["bytes_amplification"] < 5.0, payload
+    else:
+        assert payload["write_back_amplification"] >= 1.0
+    if not args.skip_arms:
+        # The escalation mechanism must actually fire in the stuck worlds.
+        beyond = payload["worst_case"]["scenarios"]["fraction-0.7"]
+        total = payload["worst_case"]["scenarios"]["fraction-1"]
+        assert beyond["escalate-2"]["actions"].get("reprovision", 0) > 0, beyond
+        assert total["escalate-2"]["actions"].get("reprovision", 0) > 0, total
+        if not args.quick:
+            # Pin the measured findings at the full, deterministic scale:
+            # beyond the reservoir-starvation cliff nothing recovers...
+            for stuck in (beyond, total):
+                assert all(p["recovery_epochs"] is None
+                           for p in stuck.values()), stuck
+            # ...below it, refresh alone recovers and escalation does not
+            # beat it (it measurably hurts)...
+            below = payload["worst_case"]["scenarios"]["fraction-0.4"]
+            assert below["refresh-only"]["recovery_epochs"] is not None, below
+            assert below["refresh-only"]["final_auc"] >= \
+                below["escalate-2"]["final_auc"], below
+            # ...and strict trained-universe refresh beats (or ties) both
+            # MAC-admission relaxations after the shock.
+            admission = payload["admission"]["policies"]
+            assert admission["never"]["post_shock_mean_auc"] >= \
+                admission["after-3"]["post_shock_mean_auc"], admission
+            assert admission["never"]["post_shock_mean_auc"] >= \
+                admission["first-sight"]["post_shock_mean_auc"], admission
     return 0
 
 

@@ -1,0 +1,259 @@
+"""Serving-runtime benchmark: shard scaling + observe latency under
+background maintenance + incremental write-back accounting.
+
+Three questions about :class:`repro.serve.runtime.ServingRuntime`, the
+sharded daemon:
+
+* **Shard scaling** — concurrent observers hitting tenants spread
+  across 1/2/4 shards.  Each shard owns its own lock, so observes on
+  different shards never contend on fleet state; the GIL still
+  serialises pure-python bookkeeping, so this measures contention
+  removal, not linear CPU scaling.
+* **Observe latency during a background refresh** — the swap-on-commit
+  fix's pinned claim.  A victim tenant is observed in a tight loop on
+  the *same shard* where the maintenance worker keeps refreshing a
+  large tenant.  Because the shard lock is released for the rebuild
+  (held only for the model copy and the pointer swap), the observer's
+  p99 latency must stay far below the refresh duration — under the old
+  inline refresh it would *equal* it.
+* **Write-back accounting** — full vs delta saves on a thrashing LRU,
+  the compact companion to ``bench_fleet_drift``'s amplification run.
+
+Runs standalone; ``--quick`` is the CI smoke scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from bench_common import write_json_result, write_result  # noqa: E402
+
+from repro.core.config import GEMConfig  # noqa: E402
+from repro.core.records import SignalRecord  # noqa: E402
+from repro.embedding.bisage import BiSAGEConfig  # noqa: E402
+from repro.eval.reporting import format_table  # noqa: E402
+from repro.pipeline import ComponentSpec, PipelineSpec  # noqa: E402
+from repro.serve import MaintenancePolicy, ServingRuntime  # noqa: E402
+
+
+def parse_args(argv=None):
+    parser = argparse.ArgumentParser(description="ServingRuntime benchmark")
+    parser.add_argument("--quick", action="store_true", help="CI smoke scale")
+    parser.add_argument("--seconds", type=float, default=None,
+                        help="wall-clock budget per measured run")
+    parser.add_argument("--out", help="also write the JSON payload to this path")
+    return parser.parse_args(argv)
+
+
+def spec(dim: int = 8) -> PipelineSpec:
+    config = GEMConfig(bisage=BiSAGEConfig(dim=dim, epochs=1))
+    return PipelineSpec(model=ComponentSpec("gem", config.to_dict()))
+
+
+def make_records(n: int, num_macs: int, seed: int) -> list[SignalRecord]:
+    """Cheap deterministic in-premises-looking scans (serving substrate
+    benchmark: the model's quality is irrelevant, its shape is not)."""
+    rng = np.random.default_rng(seed)
+    records = []
+    for i in range(n):
+        readings = {}
+        for m in range(num_macs):
+            rss = -50.0 - 3.0 * (m % 7) + rng.normal(0.0, 2.0)
+            if rng.random() < 0.8:
+                readings[f"mac-{seed}-{m:03d}"] = float(max(rss, -95.0))
+        if not readings:
+            readings[f"mac-{seed}-000"] = -70.0
+        records.append(SignalRecord(readings, timestamp=float(i)))
+    return records
+
+
+def percentile(samples: list[float], q: float) -> float:
+    return float(np.percentile(np.asarray(samples), q)) if samples else 0.0
+
+
+# ----------------------------------------------------------------------
+# Arm 1: shard scaling under concurrent observers
+# ----------------------------------------------------------------------
+def run_shard_scaling(args) -> dict:
+    threads = 4
+    tenants_per_thread = 2
+    seconds = args.seconds if args.seconds is not None else (0.8 if args.quick else 3.0)
+    tenant_ids = [f"scale-{i:02d}" for i in range(threads * tenants_per_thread)]
+    train = {t: make_records(40, 12, seed=i) for i, t in enumerate(tenant_ids)}
+    streams = {t: make_records(400, 12, seed=1000 + i)
+               for i, t in enumerate(tenant_ids)}
+
+    out = {}
+    for num_shards in (1, 2, 4):
+        with tempfile.TemporaryDirectory() as root:
+            with ServingRuntime(root, num_shards=num_shards, capacity=16,
+                                scheduler_interval=None) as runtime:
+                for tenant in tenant_ids:
+                    runtime.provision(tenant, train[tenant], spec=spec())
+                counts = [0] * threads
+                stop = time.perf_counter() + seconds
+                barrier = threading.Barrier(threads)
+
+                def worker(slot: int) -> None:
+                    mine = tenant_ids[slot * tenants_per_thread:
+                                      (slot + 1) * tenants_per_thread]
+                    barrier.wait()
+                    position = 0
+                    while time.perf_counter() < stop:
+                        tenant = mine[position % len(mine)]
+                        record = streams[tenant][position % 400]
+                        runtime.observe(tenant, record)
+                        counts[slot] += 1
+                        position += 1
+
+                pool = [threading.Thread(target=worker, args=(slot,))
+                        for slot in range(threads)]
+                t0 = time.perf_counter()
+                for thread in pool:
+                    thread.start()
+                for thread in pool:
+                    thread.join()
+                elapsed = time.perf_counter() - t0
+        out[str(num_shards)] = {"observations": sum(counts),
+                                "throughput_obs_per_s": sum(counts) / elapsed}
+    return out
+
+
+# ----------------------------------------------------------------------
+# Arm 2: observe latency while the daemon refreshes a neighbour
+# ----------------------------------------------------------------------
+def run_latency_under_refresh(args) -> dict:
+    heavy_train = 120 if args.quick else 600
+    seconds = args.seconds if args.seconds is not None else (1.5 if args.quick else 5.0)
+    victim_train = make_records(40, 12, seed=1)
+    victim_stream = make_records(500, 12, seed=2)
+    heavy_records = make_records(heavy_train, 24, seed=3)
+
+    def measure(policy: MaintenancePolicy | None, interval: float | None) -> dict:
+        latencies: list[float] = []
+        with tempfile.TemporaryDirectory() as root:
+            with ServingRuntime(root, num_shards=1, capacity=8,
+                                policy=policy,
+                                scheduler_interval=interval) as runtime:
+                runtime.provision("victim", victim_train, spec=spec())
+                runtime.provision("heavy", heavy_records,
+                                  spec=spec(dim=16 if args.quick else 32))
+                # Feed the heavy tenant so its policy keeps demanding
+                # refreshes for the whole measurement window.
+                stop = time.perf_counter() + seconds
+                position = 0
+                while time.perf_counter() < stop:
+                    runtime.observe("heavy", heavy_records[position % heavy_train])
+                    t0 = time.perf_counter()
+                    runtime.observe("victim", victim_stream[position % 500])
+                    latencies.append(time.perf_counter() - t0)
+                    position += 1
+                totals = runtime.telemetry_totals()
+                refreshes = totals.refreshes
+                refresh_seconds = totals.refresh_seconds
+        return {"observations": len(latencies),
+                "p50_ms": 1e3 * percentile(latencies, 50),
+                "p99_ms": 1e3 * percentile(latencies, 99),
+                "max_ms": 1e3 * max(latencies),
+                "refreshes": refreshes,
+                "mean_refresh_ms": (1e3 * refresh_seconds / refreshes
+                                    if refreshes else 0.0)}
+
+    baseline = measure(policy=None, interval=None)
+    refresh_policy = MaintenancePolicy(check_every=8, refresh_every=16)
+    maintained = measure(policy=refresh_policy, interval=0.01)
+    return {"baseline": baseline, "under_refresh": maintained}
+
+
+# ----------------------------------------------------------------------
+# Arm 3: write-back accounting on a thrashing LRU
+# ----------------------------------------------------------------------
+def run_writeback_accounting(args) -> dict:
+    tenants = [f"wb-{i:02d}" for i in range(4 if args.quick else 12)]
+    rounds = 3 if args.quick else 6
+    train = {t: make_records(30, 10, seed=50 + i) for i, t in enumerate(tenants)}
+    streams = {t: make_records(rounds * 5, 10, seed=150 + i)
+               for i, t in enumerate(tenants)}
+    out = {}
+    for label, incremental in (("full_saves", False), ("incremental", True)):
+        with tempfile.TemporaryDirectory() as root:
+            with ServingRuntime(root, num_shards=1, capacity=2,
+                                incremental=incremental,
+                                scheduler_interval=None) as runtime:
+                for tenant in tenants:
+                    runtime.provision(tenant, train[tenant], spec=spec())
+                provision_saves = runtime.telemetry_totals().saves
+                # Round-robin: every touch of a non-resident tenant is a
+                # cold reload and someone else's dirty write-back.
+                for round_index in range(rounds):
+                    for tenant in tenants:
+                        for step in range(5):
+                            record = streams[tenant][round_index * 5 + step]
+                            runtime.observe(tenant, record)
+                totals = runtime.telemetry_totals()
+        out[label] = {
+            "streaming_full_saves": totals.saves - provision_saves,
+            "streaming_delta_saves": totals.delta_saves,
+            "full_saves_per_tenant": (totals.saves - provision_saves) / len(tenants),
+        }
+    return out
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    payload = {
+        "shard_scaling": run_shard_scaling(args),
+        "latency": run_latency_under_refresh(args),
+        "writeback": run_writeback_accounting(args),
+        "quick": args.quick,
+    }
+    scaling = payload["shard_scaling"]
+    latency = payload["latency"]
+    rows = [[f"{n} shard(s)", f"{scaling[n]['throughput_obs_per_s']:.0f} obs/s"]
+            for n in sorted(scaling)]
+    rows.append(["p99 observe (no maintenance)",
+                 f"{latency['baseline']['p99_ms']:.2f} ms"])
+    rows.append(["p99 observe (refresh in background)",
+                 f"{latency['under_refresh']['p99_ms']:.2f} ms"])
+    rows.append(["mean background refresh",
+                 f"{latency['under_refresh']['mean_refresh_ms']:.1f} ms"])
+    rows.append(["full saves/tenant (full mode)",
+                 f"{payload['writeback']['full_saves']['full_saves_per_tenant']:.1f}"])
+    rows.append(["full saves/tenant (incremental)",
+                 f"{payload['writeback']['incremental']['full_saves_per_tenant']:.1f}"])
+    write_result("runtime", format_table(["metric", "value"], rows,
+                                         title="ServingRuntime benchmark"))
+    write_json_result("runtime", payload)
+    if args.out:
+        Path(args.out).write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+        print(f"payload written to {args.out}")
+
+    # Invariants (loose enough for noisy CI boxes, tight enough to catch
+    # a regression to inline refresh or broken sharding):
+    for n in ("1", "2", "4"):
+        assert scaling[n]["observations"] > 0
+    under = latency["under_refresh"]
+    assert under["refreshes"] > 0, "the background policy never fired"
+    if under["mean_refresh_ms"] > 0:
+        # Swap-on-commit: an observe must never wait out a whole rebuild.
+        # Inline refresh would push p99 (and max) to ~mean_refresh_ms.
+        assert under["p99_ms"] < max(0.6 * under["mean_refresh_ms"], 50.0), latency
+    inc = payload["writeback"]["incremental"]
+    full = payload["writeback"]["full_saves"]
+    assert inc["streaming_delta_saves"] > 0
+    assert inc["streaming_full_saves"] < full["streaming_full_saves"]
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,12 @@ Subcommands
 ``serve``
     Replay a JSONL event stream through a multi-tenant fleet rooted at
     a checkpoint registry; print one decision JSON per line.
+``runtime`` (alias ``serve-daemon``)
+    The same replay through the sharded :class:`ServingRuntime` daemon:
+    tenants hash-partitioned across N shards, a background maintenance
+    worker executing the given :class:`MaintenancePolicy` (coordinated
+    refresh, escalation, flush, idle eviction) off the observe path,
+    and incremental (delta) checkpoint write-backs.
 ``maintain``
     Control-plane maintenance over a checkpoint registry: coordinated
     refresh (embedding-cache rebuild + detector refit on each tenant's
@@ -119,6 +125,25 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--events", required=True,
                    help='JSONL events: {"tenant": ..., "rss": {...}, "t": ...}')
     p.add_argument("--capacity", type=int, default=8)
+    p.add_argument("-o", "--out", help="write decisions to this file instead of stdout")
+
+    p = sub.add_parser("runtime", aliases=["serve-daemon"],
+                       help="replay a JSONL event stream through the sharded "
+                            "serving daemon (background maintenance)")
+    p.add_argument("--registry", required=True, help="tenant registry root")
+    p.add_argument("--events", required=True,
+                   help='JSONL events: {"tenant": ..., "rss": {...}, "t": ...}')
+    p.add_argument("--shards", type=int, default=2, help="fleet shards")
+    p.add_argument("--capacity", type=int, default=8, help="LRU budget per shard")
+    p.add_argument("--policy", help="MaintenancePolicy JSON file applied to every "
+                                    "tenant (default: no maintenance)")
+    p.add_argument("--interval", type=float, default=0.05,
+                   help="background maintenance tick interval in seconds; "
+                        "0 = serial mode (pump once at the end)")
+    p.add_argument("--sweep-every", type=int, default=20,
+                   help="run controller sweeps every N ticks")
+    p.add_argument("--no-incremental", action="store_true",
+                   help="write full checkpoints instead of deltas")
     p.add_argument("-o", "--out", help="write decisions to this file instead of stdout")
 
     p = sub.add_parser("maintain",
@@ -389,40 +414,93 @@ def _cmd_drift(args) -> int:
     return 0
 
 
-def _cmd_serve(args) -> int:
+def _replay_events(observe, events_path: Path, out_handle) -> int:
+    """Stream JSONL events through ``observe``; returns events served.
+
+    Raises ValueError with the offending line number on a malformed
+    event, so callers surface one actionable error line.
+    """
     from repro.core.io import record_from_dict
+    served = 0
+    with events_path.open() as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+                tenant = str(event["tenant"])
+                record = record_from_dict(event)
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError) as error:
+                raise ValueError(f"{events_path}:{line_number}: bad event: {error}") \
+                    from error
+            decision = observe(tenant, record)
+            out_handle.write(json.dumps({
+                "tenant": tenant,
+                "inside": decision.inside,
+                # +inf means "could not be embedded"; JSON has no inf.
+                "score": decision.score if math.isfinite(decision.score) else None,
+                "confident": decision.confident,
+            }) + "\n")
+            served += 1
+    return served
+
+
+def _cmd_serve(args) -> int:
     from repro.serve import GeofenceFleet
     events_path = Path(args.events)
     if not events_path.is_file():
         print(f"error: no such events file: {events_path}", file=sys.stderr)
         return 2
     out_handle = open(args.out, "w") if args.out else sys.stdout
-    served = 0
     try:
         with GeofenceFleet(args.registry, capacity=args.capacity) as fleet:
-            with events_path.open() as handle:
-                for line_number, line in enumerate(handle, start=1):
-                    line = line.strip()
-                    if not line:
-                        continue
-                    try:
-                        event = json.loads(line)
-                        tenant = str(event["tenant"])
-                        record = record_from_dict(event)
-                    except (json.JSONDecodeError, KeyError, TypeError, ValueError) as error:
-                        print(f"error: {events_path}:{line_number}: bad event: {error}",
-                              file=sys.stderr)
-                        return 2
-                    decision = fleet.observe(tenant, record)
-                    out_handle.write(json.dumps({
-                        "tenant": tenant,
-                        "inside": decision.inside,
-                        # +inf means "could not be embedded"; JSON has no inf.
-                        "score": decision.score if math.isfinite(decision.score) else None,
-                        "confident": decision.confident,
-                    }) + "\n")
-                    served += 1
+            served = _replay_events(fleet.observe, events_path, out_handle)
         print(f"served {served} events from {events_path}", file=sys.stderr)
+    finally:
+        if args.out:
+            out_handle.close()
+    return 0
+
+
+def _cmd_runtime(args) -> int:
+    from repro.serve import MaintenancePolicy, ServingRuntime
+    events_path = Path(args.events)
+    if not events_path.is_file():
+        print(f"error: no such events file: {events_path}", file=sys.stderr)
+        return 2
+    policy = None
+    if args.policy:
+        policy = MaintenancePolicy.from_json(Path(args.policy).read_text())
+    interval = args.interval if args.interval and args.interval > 0 else None
+    out_handle = open(args.out, "w") if args.out else sys.stdout
+    try:
+        runtime = ServingRuntime(args.registry, num_shards=args.shards,
+                                 capacity=args.capacity, policy=policy,
+                                 incremental=not args.no_incremental,
+                                 scheduler_interval=interval,
+                                 sweep_every=args.sweep_every)
+        with runtime:
+            served = _replay_events(runtime.observe, events_path, out_handle)
+            if runtime.scheduler is None:
+                # Serial mode: run the maintenance the daemon would have.
+                runtime.maintain()
+        # Report after close(): the final drain and flush write-backs
+        # have happened, so the counters describe the whole replay.
+        stats = runtime.stats()
+        actions = runtime.maintenance_actions()
+        print(f"served {served} events from {events_path} across "
+              f"{args.shards} shard(s)", file=sys.stderr)
+        totals = stats["totals"]
+        print(f"maintenance: {len(actions)} action(s); "
+              f"refreshes={totals['refreshes']} reprovisions={totals['reprovisions']} "
+              f"full saves={totals['saves']} delta saves={totals['delta_saves']}",
+              file=sys.stderr)
+        if stats["scheduler"] is not None:
+            sched = stats["scheduler"]
+            print(f"scheduler: {sched['ticks']} tick(s), "
+                  f"{sched['decisions_drained']} decision(s) drained, "
+                  f"{sched['errors']} error(s)", file=sys.stderr)
     finally:
         if args.out:
             out_handle.close()
@@ -503,6 +581,8 @@ _COMMANDS = {
     "train": _cmd_train,
     "eval": _cmd_eval,
     "serve": _cmd_serve,
+    "runtime": _cmd_runtime,
+    "serve-daemon": _cmd_runtime,
     "maintain": _cmd_maintain,
     "drift": _cmd_drift,
 }

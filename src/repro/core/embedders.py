@@ -99,7 +99,7 @@ class _GraphEmbedderBase:
             embedding = self.model.embed_readings(record.readings) if known else None
         return embedding
 
-    def refresh_cache(self) -> None:
+    def refresh_cache(self, admit_new_macs_after: int | None = None) -> None:
         """Rebuild per-layer caches over the grown graph, coordinated flavour.
 
         Two deliberate differences from the raw ``refresh_every`` path:
@@ -109,9 +109,14 @@ class _GraphEmbedderBase:
         must refit the downstream detector on re-embedded data in the
         same operation, because every cached embedding still moves (see
         :meth:`repro.core.gem.EmbeddingGeofencer.refresh`).
+
+        ``admit_new_macs_after=N`` relaxes the universe rule with
+        support-threshold admission: a post-training MAC joins
+        aggregation once at least N attached observations sense it.
         """
         self._require_fitted()
-        self.model.refresh_cache(admit_new_macs=False)
+        self.model.refresh_cache(admit_new_macs=False,
+                                 admit_new_macs_after=admit_new_macs_after)
         self._observed_since_refresh = 0
 
     def _require_fitted(self) -> None:

@@ -21,7 +21,54 @@ from repro.core.protocols import Detector, GeofenceDecision, RecordEmbedder
 from repro.core.records import SignalRecord
 from repro.detection.histogram import HistogramDetector
 
-__all__ = ["EmbeddingGeofencer", "GEM"]
+__all__ = ["EmbeddingGeofencer", "GEM", "RefreshJob"]
+
+
+class RefreshJob:
+    """A coordinated refresh staged in three phases.
+
+    ``begin_refresh`` (the *copy* phase) deep-copies the embedder and
+    detector while the caller holds whatever lock guards the live
+    pipeline; :meth:`build` (the *rebuild* phase) does all the heavy
+    work — cache rebuild, re-embedding, detector refit — purely on
+    those copies, so the caller may release its lock first;
+    ``commit_refresh`` (the *swap* phase) installs the result with two
+    pointer assignments.  ``EmbeddingGeofencer.refresh`` runs all three
+    back-to-back and is bit-identical to the pre-staged implementation.
+    """
+
+    def __init__(self, pipeline: "EmbeddingGeofencer", embedder, detector,
+                 records: list[SignalRecord],
+                 admit_new_macs_after: int | None):
+        self.pipeline = pipeline
+        self.embedder = embedder
+        self.detector = detector
+        self.records = records
+        self.admit_new_macs_after = admit_new_macs_after
+        self.absorbed: int | None = None
+        self.committed = False
+
+    def build(self) -> int:
+        """Rebuild caches and refit the detector on the copies.
+
+        Touches only this job's copies — never the live pipeline — so
+        it is safe to run without holding the pipeline's lock.  Returns
+        the number of records the detector was refit on.
+        """
+        if self.admit_new_macs_after is not None:
+            self.embedder.refresh_cache(admit_new_macs_after=self.admit_new_macs_after)
+        else:
+            self.embedder.refresh_cache()
+        rows = [self.embedder.embed(record, attach=False) for record in self.records]
+        rows = [row for row in rows if row is not None]
+        if not rows:
+            raise ValueError("coordinated refresh aborted: none of the "
+                             f"{len(self.records)} recent-inlier records are embeddable "
+                             "after the cache rebuild; the pipeline keeps serving "
+                             "its pre-refresh state")
+        self.detector.refit(np.vstack(rows))
+        self.absorbed = len(rows)
+        return self.absorbed
 
 
 class EmbeddingGeofencer:
@@ -151,7 +198,8 @@ class EmbeddingGeofencer:
         return (hasattr(self.embedder, "refresh_cache")
                 and hasattr(self.detector, "refit"))
 
-    def refresh(self, records: Sequence[SignalRecord]) -> int:
+    def refresh(self, records: Sequence[SignalRecord],
+                admit_new_macs_after: int | None = None) -> int:
         """Coordinated refresh: rebuild embedding caches *and* refit the
         detector on re-embedded recent inliers, as one atomic operation.
 
@@ -168,11 +216,37 @@ class EmbeddingGeofencer:
         function move together.  Returns the number of records the
         detector was refit on.
 
+        ``admit_new_macs_after=N`` softens the trained-universe rule:
+        a MAC first seen after training joins inference-time aggregation
+        at this refresh once at least N attached observations sense it
+        (support-threshold admission — the middle ground between "never
+        admit until re-provision" and the legacy admit-everything
+        collapse).  ``None`` keeps the strict rule.
+
         Atomic: all work happens on copies; the live pipeline is only
         swapped at the end, so any mid-refresh failure (nothing
         embeddable, detector refit error) leaves it serving the
         pre-refresh state.  The self-update buffer is cleared — buffered
         embeddings were produced by the old embedding function.
+
+        Concurrency-minded callers can stage the same operation:
+        :meth:`begin_refresh` (copy, under the caller's lock) →
+        :meth:`RefreshJob.build` (heavy rebuild, lock released) →
+        :meth:`commit_refresh` (pointer swap, under the lock again).
+        """
+        job = self.begin_refresh(records, admit_new_macs_after=admit_new_macs_after)
+        absorbed = job.build()
+        self.commit_refresh(job)
+        return absorbed
+
+    def begin_refresh(self, records: Sequence[SignalRecord],
+                      admit_new_macs_after: int | None = None) -> RefreshJob:
+        """Copy phase of a staged refresh: validate and snapshot.
+
+        Deep-copies the embedder and detector (call this while holding
+        whatever lock serialises access to the live pipeline) and
+        returns a :class:`RefreshJob` whose :meth:`~RefreshJob.build`
+        may then run without that lock.
         """
         if not self._fitted:
             raise RuntimeError("pipeline has not been fitted; call fit first")
@@ -182,26 +256,38 @@ class EmbeddingGeofencer:
             part = self.embedder if missing == "refresh_cache" else self.detector
             raise TypeError(f"{type(part).__name__} has no {missing}; this pipeline "
                             "does not support coordinated refresh")
+        if admit_new_macs_after is not None and admit_new_macs_after < 1:
+            raise ValueError(f"admit_new_macs_after must be >= 1 or None, "
+                             f"got {admit_new_macs_after}")
         records = [r for r in records if r.readings]
         if not records:
             raise ValueError("coordinated refresh needs at least one non-empty "
                              "recent-inlier record to refit the detector on")
-        embedder = copy.deepcopy(self.embedder)
-        embedder.refresh_cache()
-        rows = [embedder.embed(record, attach=False) for record in records]
-        rows = [row for row in rows if row is not None]
-        if not rows:
-            raise ValueError("coordinated refresh aborted: none of the "
-                             f"{len(records)} recent-inlier records are embeddable "
-                             "after the cache rebuild; the pipeline keeps serving "
-                             "its pre-refresh state")
-        detector = copy.deepcopy(self.detector)
-        detector.refit(np.vstack(rows))
-        # Commit point: nothing above mutated self.
-        self.embedder = embedder
-        self.detector = detector
+        return RefreshJob(self, copy.deepcopy(self.embedder),
+                          copy.deepcopy(self.detector), records,
+                          admit_new_macs_after)
+
+    def commit_refresh(self, job: RefreshJob) -> None:
+        """Swap phase of a staged refresh: install the rebuilt copies.
+
+        Two pointer assignments plus the update-buffer clear — buffered
+        embeddings were produced by the old embedding function.  Call
+        under the same lock :meth:`begin_refresh` was called under.
+        Observations served between copy and commit keep their
+        decisions; their graph attachments live in the pre-refresh
+        embedder and are superseded by the swap (bounded staleness, one
+        refresh window deep — the serial path has no such window).
+        """
+        if job.pipeline is not self:
+            raise ValueError("refresh job belongs to a different pipeline")
+        if job.absorbed is None:
+            raise RuntimeError("refresh job has not been built; call build() first")
+        if job.committed:
+            raise RuntimeError("refresh job was already committed")
+        job.committed = True
+        self.embedder = job.embedder
+        self.detector = job.detector
         self._update_buffer = []
-        return len(rows)
 
     # ------------------------------------------------------------------
     # Persistence

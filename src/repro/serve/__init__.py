@@ -20,17 +20,29 @@ asset:
 * :mod:`repro.serve.controller` — the **control plane**:
   :class:`~repro.serve.controller.FleetController` executes policies
   (coordinated refresh, re-provision, flush, idle eviction) against a
-  fleet from the decision stream.
+  fleet from the decision stream;
+* :mod:`repro.serve.runtime` / :mod:`repro.serve.shard` /
+  :mod:`repro.serve.scheduler` — the **serving daemon**:
+  :class:`~repro.serve.runtime.ServingRuntime` hash-partitions tenants
+  across :class:`~repro.serve.shard.FleetShard`\\ s (independent locks,
+  LRU slices and telemetry) and runs policy maintenance on a
+  :class:`~repro.serve.scheduler.MaintenanceScheduler` background
+  worker, off the observe path, with incremental (delta) checkpoint
+  write-backs.
 """
 
 from repro.serve.checkpoint import (
     CHECKPOINT_VERSION,
+    INCREMENTAL_VERSION,
     SUPPORTED_VERSIONS,
     CheckpointError,
+    StateBaseline,
     load_checkpoint,
+    load_checkpoint_with_baseline,
     load_checkpoint_with_manifest,
     read_manifest,
     save_checkpoint,
+    save_incremental,
     spec_from_manifest,
 )
 from repro.serve.controller import FleetController
@@ -41,6 +53,9 @@ from repro.serve.fleet import (
 )
 from repro.serve.policy import MaintenancePolicy
 from repro.serve.registry import ModelRegistry, validate_tenant_id
+from repro.serve.runtime import ServingRuntime, shard_index
+from repro.serve.scheduler import MaintenanceScheduler
+from repro.serve.shard import FleetShard
 from repro.serve.telemetry import FleetTelemetry, TenantStats
 
 __all__ = [
@@ -48,17 +63,25 @@ __all__ = [
     "CheckpointError",
     "DEFAULT_RESERVOIR_SIZE",
     "FleetController",
+    "FleetShard",
     "FleetTelemetry",
     "GeofenceFleet",
+    "INCREMENTAL_VERSION",
     "MaintenancePolicy",
+    "MaintenanceScheduler",
     "ModelRegistry",
     "RESERVOIR_METADATA_KEY",
     "SUPPORTED_VERSIONS",
+    "ServingRuntime",
+    "StateBaseline",
     "TenantStats",
     "load_checkpoint",
+    "load_checkpoint_with_baseline",
     "load_checkpoint_with_manifest",
     "read_manifest",
     "save_checkpoint",
+    "save_incremental",
+    "shard_index",
     "spec_from_manifest",
     "validate_tenant_id",
 ]

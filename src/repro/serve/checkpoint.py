@@ -24,6 +24,21 @@ Version history: format 1 (PR 1) only ever held :class:`GEM` models and
 carried no spec; format 2 embeds the ``pipeline_spec`` so *any*
 registered arm round-trips.  Format-1 checkpoints still load through a
 migration path that synthesises the GEM spec from the saved config.
+Format 3 (the **incremental** extension) is format 2 plus a ``deltas``
+chain in the manifest: each entry names a ``delta-<id>.npz`` file of
+append-tails / replacements / removals against the state the previous
+entry produced, so a write-back whose heavy arrays only *grew*
+(streamed records appended to the graph, lazily extended MAC caches)
+costs the tail, not the model.  A full save compacts the chain back to
+a plain format-2 checkpoint; format-2 checkpoints load unchanged.
+
+Incremental crash safety extends the full-save story: the delta file is
+written first (same temp-file + ``os.replace`` + directory fsync), the
+manifest rewrite is the single commit point, and every delta carries a
+nonce that must match its manifest entry while each entry names its
+parent write — so a crash before the manifest commit leaves an orphan
+delta file the loader never reads (the torn tail), and a manually
+spliced or truncated chain is rejected as torn rather than replayed.
 """
 
 from __future__ import annotations
@@ -33,6 +48,7 @@ import os
 import tempfile
 import time
 import uuid
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
@@ -43,26 +59,49 @@ from repro.pipeline import ComponentSpec, PipelineSpec, build_pipeline, infer_sp
 
 __all__ = [
     "CHECKPOINT_VERSION",
+    "INCREMENTAL_VERSION",
     "SUPPORTED_VERSIONS",
     "MANIFEST_NAME",
     "ARRAYS_PREFIX",
     "ARRAYS_SUFFIX",
+    "DELTA_PREFIX",
+    "DELTA_SUFFIX",
+    "DEFAULT_MAX_DELTA_CHAIN",
+    "DEFAULT_DELTA_MAX_FRACTION",
     "CheckpointError",
+    "StateBaseline",
     "flatten_state",
     "unflatten_state",
     "save_checkpoint",
+    "save_incremental",
     "load_checkpoint",
     "load_checkpoint_with_manifest",
+    "load_checkpoint_with_baseline",
     "load_state",
     "read_manifest",
     "spec_from_manifest",
 ]
 
 CHECKPOINT_VERSION = 2
-SUPPORTED_VERSIONS = (1, CHECKPOINT_VERSION)
+# Format version stamped while a manifest carries an uncompacted delta
+# chain; a full save compacts back down to CHECKPOINT_VERSION.  Readers
+# that predate the incremental format refuse version 3 outright instead
+# of silently serving the base state without its deltas.
+INCREMENTAL_VERSION = 3
+SUPPORTED_VERSIONS = (1, CHECKPOINT_VERSION, INCREMENTAL_VERSION)
 MANIFEST_NAME = "manifest.json"
 ARRAYS_PREFIX = "arrays-"
 ARRAYS_SUFFIX = ".npz"
+DELTA_PREFIX = "delta-"
+DELTA_SUFFIX = ".npz"
+
+# Compaction cadence: after this many chained deltas the next write is a
+# full save, bounding both replay work on load and chain-validation cost.
+DEFAULT_MAX_DELTA_CHAIN = 4
+# A delta whose stored arrays exceed this fraction of the full state's
+# bytes is not worth the chain bookkeeping (e.g. a re-provisioned model
+# where everything changed): write a compacting full save instead.
+DEFAULT_DELTA_MAX_FRACTION = 0.9
 
 _SEP = "/"
 # Reserved npz entry holding the save nonce (also recorded in the
@@ -70,6 +109,9 @@ _SEP = "/"
 # the same model, so matching key sets cannot prove the two files come
 # from the same save; matching nonces can.
 _SAVE_ID_KEY = "__save_id__"
+# Same role for delta files: the npz nonce must match the manifest
+# entry's delta_id or the pair is rejected as spliced.
+_DELTA_ID_KEY = "__delta_id__"
 
 
 class CheckpointError(RuntimeError):
@@ -135,6 +177,89 @@ def _json_safe(value):
 
 
 # ----------------------------------------------------------------------
+# Incremental baselines and diffs
+# ----------------------------------------------------------------------
+@dataclass
+class StateBaseline:
+    """In-memory image of a tenant's last *committed* write.
+
+    ``save_incremental`` diffs the model's current flattened state
+    against this image to decide what a delta must carry.  The arrays
+    are isolated copies: live models mutate their arrays in place (the
+    histogram detector's update does), and a baseline aliasing live
+    memory would diff as "unchanged" and silently lose that state.
+    """
+
+    save_id: str        # id of the base full save the chain hangs off
+    tip_id: str         # id of the most recent committed write
+    chain_length: int   # committed deltas since the base full save
+    arrays: dict[str, np.ndarray]
+    leaves: dict[str, Any]
+
+    @classmethod
+    def capture(cls, save_id: str, tip_id: str, chain_length: int,
+                arrays: dict[str, np.ndarray], leaves: dict[str, Any]) -> "StateBaseline":
+        return cls(save_id=save_id, tip_id=tip_id, chain_length=chain_length,
+                   arrays={k: np.array(v, copy=True) for k, v in arrays.items()
+                           if k != _SAVE_ID_KEY},
+                   leaves=json.loads(json.dumps(leaves)))
+
+
+def _arrays_equal(a: np.ndarray, b: np.ndarray) -> bool:
+    """Bitwise-intent equality: NaN == NaN for float arrays.
+
+    Plain ``np.array_equal`` treats a NaN-bearing array as unequal to
+    itself, which would make every delta re-store it as "changed";
+    ``equal_nan`` is only legal for inexact dtypes, hence the guard.
+    """
+    if a.dtype != b.dtype or a.shape != b.shape:
+        return False
+    equal_nan = np.issubdtype(a.dtype, np.inexact)
+    return bool(np.array_equal(a, b, equal_nan=equal_nan))
+
+
+def _is_append(old: np.ndarray, new: np.ndarray) -> bool:
+    """True when ``new`` is ``old`` plus rows appended along axis 0."""
+    return (old.ndim == new.ndim and old.ndim >= 1
+            and old.shape[1:] == new.shape[1:]
+            and new.shape[0] > old.shape[0]
+            and old.dtype == new.dtype
+            and _arrays_equal(new[: old.shape[0]], old))
+
+
+def _diff_state(baseline: StateBaseline, arrays: dict[str, np.ndarray],
+                leaves: dict[str, Any]) -> tuple[dict[str, np.ndarray], dict]:
+    """Ops needed to turn the baseline state into the current one.
+
+    Returns ``(stored_arrays, entry)`` where ``entry`` is the manifest
+    delta entry (sans id/file bookkeeping): ``append``/``replace``/
+    ``remove`` key lists for arrays, plus changed/removed leaves.
+    """
+    stored: dict[str, np.ndarray] = {}
+    append: list[str] = []
+    replace: list[str] = []
+    for key, value in arrays.items():
+        old = baseline.arrays.get(key)
+        if old is None:
+            replace.append(key)
+            stored[key] = value
+        elif _is_append(old, value):
+            append.append(key)
+            stored[key] = value[old.shape[0]:]
+        elif not _arrays_equal(old, value):
+            replace.append(key)
+            stored[key] = value
+    removed = sorted(set(baseline.arrays) - set(arrays))
+    new_leaves = {key: value for key, value in leaves.items()
+                  if key not in baseline.leaves or baseline.leaves[key] != value}
+    removed_leaves = sorted(set(baseline.leaves) - set(leaves))
+    entry = {"append": sorted(append), "replace": sorted(replace),
+             "remove": removed, "leaves": new_leaves,
+             "removed_leaves": removed_leaves}
+    return stored, entry
+
+
+# ----------------------------------------------------------------------
 # Saving
 # ----------------------------------------------------------------------
 def _fsync_dir(directory: Path) -> None:
@@ -173,30 +298,23 @@ def _replace_into(directory: Path, name: str, writer) -> None:
         raise
 
 
-def save_checkpoint(model, directory: str | Path, metadata: dict | None = None,
-                    spec: PipelineSpec | None = None) -> Path:
-    """Persist a fitted model's ``state_dict`` under ``directory``.
-
-    ``model`` must expose ``state_dict()``; the manifest embeds the
-    model's :class:`~repro.pipeline.spec.PipelineSpec` (the one stamped
-    by ``build_pipeline``, the explicit ``spec=`` argument, or one
-    inferred for the hand-constructed built-ins) so loading can rebuild
-    the exact arm without knowing its class.  Returns the checkpoint
-    directory.  Overwriting an existing checkpoint never destroys it:
-    the new arrays land under a fresh name, the manifest swap is the
-    atomic commit, and the superseded arrays file is only deleted after
-    the commit — a crash anywhere leaves the previous (or the new)
-    complete checkpoint loadable.
-    """
-    directory = Path(directory)
-    directory.mkdir(parents=True, exist_ok=True)
+def _flatten_model(model, spec: PipelineSpec | None):
+    """Shared save-path preamble: spec + flattened, validated state."""
     spec = spec if spec is not None else infer_spec(model)
     spec.require_state_dict()
-    state = model.state_dict()
-    arrays, leaves = flatten_state(state)
-    if _SAVE_ID_KEY in arrays:
-        raise ValueError(f"state must not use the reserved key {_SAVE_ID_KEY!r}")
+    arrays, leaves = flatten_state(model.state_dict())
+    if _SAVE_ID_KEY in arrays or _DELTA_ID_KEY in arrays:
+        raise ValueError(f"state must not use the reserved keys "
+                         f"{_SAVE_ID_KEY!r} / {_DELTA_ID_KEY!r}")
+    return spec, arrays, leaves
+
+
+def _write_full(model, directory: Path, arrays: dict[str, np.ndarray],
+                leaves: dict[str, Any], spec: PipelineSpec,
+                metadata: dict | None) -> str:
+    """Commit a full (compacting) save; returns its save_id."""
     save_id = uuid.uuid4().hex
+    arrays = dict(arrays)
     arrays[_SAVE_ID_KEY] = np.frombuffer(save_id.encode("ascii"), dtype=np.uint8).copy()
     arrays_name = f"{ARRAYS_PREFIX}{save_id}{ARRAYS_SUFFIX}"
     manifest = {
@@ -214,15 +332,114 @@ def save_checkpoint(model, directory: str | Path, metadata: dict | None = None,
     _replace_into(directory, arrays_name, lambda h: np.savez(h, **arrays))
     _replace_into(directory, MANIFEST_NAME,
                   lambda h: h.write(json.dumps(manifest, indent=1, sort_keys=True).encode()))
-    # Post-commit cleanup: drop arrays files no manifest references and
-    # dot-prefixed temp files orphaned by earlier crashed saves (safe
-    # under the single-writer-per-directory assumption).
+    # Post-commit cleanup: drop arrays/delta files no manifest references
+    # (a full save compacts any delta chain) and dot-prefixed temp files
+    # orphaned by earlier crashed saves (safe under the
+    # single-writer-per-directory assumption).
     for stale in directory.glob(f"{ARRAYS_PREFIX}*{ARRAYS_SUFFIX}"):
         if stale.name != arrays_name:
             stale.unlink(missing_ok=True)
-    for orphan in list(directory.glob(f".{ARRAYS_PREFIX}*")) + list(directory.glob(f".{MANIFEST_NAME}.*")):
+    for stale in directory.glob(f"{DELTA_PREFIX}*{DELTA_SUFFIX}"):
+        stale.unlink(missing_ok=True)
+    for orphan in (list(directory.glob(f".{ARRAYS_PREFIX}*"))
+                   + list(directory.glob(f".{DELTA_PREFIX}*"))
+                   + list(directory.glob(f".{MANIFEST_NAME}.*"))):
         orphan.unlink(missing_ok=True)
+    return save_id
+
+
+def save_checkpoint(model, directory: str | Path, metadata: dict | None = None,
+                    spec: PipelineSpec | None = None) -> Path:
+    """Persist a fitted model's ``state_dict`` under ``directory``.
+
+    ``model`` must expose ``state_dict()``; the manifest embeds the
+    model's :class:`~repro.pipeline.spec.PipelineSpec` (the one stamped
+    by ``build_pipeline``, the explicit ``spec=`` argument, or one
+    inferred for the hand-constructed built-ins) so loading can rebuild
+    the exact arm without knowing its class.  Returns the checkpoint
+    directory.  Overwriting an existing checkpoint never destroys it:
+    the new arrays land under a fresh name, the manifest swap is the
+    atomic commit, and the superseded arrays (and any delta chain this
+    save compacts) are only deleted after the commit — a crash anywhere
+    leaves the previous (or the new) complete checkpoint loadable.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    spec, arrays, leaves = _flatten_model(model, spec)
+    _write_full(model, directory, arrays, leaves, spec, metadata)
     return directory
+
+
+def save_incremental(model, directory: str | Path, baseline: StateBaseline | None,
+                     metadata: dict | None = None, spec: PipelineSpec | None = None,
+                     max_chain: int = DEFAULT_MAX_DELTA_CHAIN,
+                     max_fraction: float = DEFAULT_DELTA_MAX_FRACTION,
+                     ) -> tuple[str, StateBaseline]:
+    """Write the cheapest sufficient save: a delta when possible.
+
+    Diffs the model's current state against ``baseline`` (the image of
+    the last committed write, from :func:`load_checkpoint_with_baseline`
+    or a previous ``save_incremental``) and appends a
+    ``delta-<id>.npz`` + manifest entry when the change is small —
+    append-tails for arrays that only grew, replacements for the few
+    that didn't.  Falls back to a full compacting save when there is no
+    usable baseline, the chain has reached ``max_chain``, the on-disk
+    tip no longer matches the baseline (an out-of-band writer), or the
+    delta would store more than ``max_fraction`` of the full state's
+    array bytes (e.g. after a re-provision).
+
+    Returns ``("delta" | "full", new_baseline)``.  Either way the
+    caller's next diff is against exactly what this call committed.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    spec, arrays, leaves = _flatten_model(model, spec)
+
+    def full() -> tuple[str, StateBaseline]:
+        save_id = _write_full(model, directory, arrays, leaves, spec, metadata)
+        return "full", StateBaseline.capture(save_id, save_id, 0, arrays, leaves)
+
+    if baseline is None or baseline.chain_length >= max_chain:
+        return full()
+    try:
+        manifest = read_manifest(directory)
+    except CheckpointError:
+        return full()
+    deltas = manifest.get("deltas", [])
+    tip = deltas[-1]["delta_id"] if deltas else manifest.get("save_id")
+    if manifest.get("save_id") != baseline.save_id or tip != baseline.tip_id:
+        # The directory moved under us (external writer / manual edit):
+        # the baseline no longer describes the on-disk state, so a delta
+        # against it would corrupt the chain.  Compact instead.
+        return full()
+    if manifest.get("pipeline_spec") != spec.to_dict():
+        # The arm itself changed (it shouldn't without a re-provision,
+        # which replaces every array anyway): deltas only patch state,
+        # never the spec, so compact.
+        return full()
+    stored, entry = _diff_state(baseline, arrays, leaves)
+    full_bytes = sum(value.nbytes for value in arrays.values())
+    delta_bytes = sum(value.nbytes for value in stored.values())
+    if full_bytes and delta_bytes > max_fraction * full_bytes:
+        return full()
+    delta_id = uuid.uuid4().hex
+    delta_name = f"{DELTA_PREFIX}{delta_id}{DELTA_SUFFIX}"
+    stored = dict(stored)
+    stored[_DELTA_ID_KEY] = np.frombuffer(delta_id.encode("ascii"), dtype=np.uint8).copy()
+    entry.update({"delta_id": delta_id, "parent": tip, "file": delta_name,
+                  "saved_at": time.time()})
+    manifest["deltas"] = deltas + [entry]
+    manifest["format_version"] = INCREMENTAL_VERSION
+    manifest["metadata"] = _json_safe(metadata or {})
+    manifest["saved_at"] = entry["saved_at"]
+    # Delta file first, manifest second: the manifest rewrite is the
+    # commit point, so a crash in between leaves an orphan delta file
+    # the loader never reads (cleaned up at the next full save).
+    _replace_into(directory, delta_name, lambda h: np.savez(h, **stored))
+    _replace_into(directory, MANIFEST_NAME,
+                  lambda h: h.write(json.dumps(manifest, indent=1, sort_keys=True).encode()))
+    return "delta", StateBaseline.capture(baseline.save_id, delta_id,
+                                          baseline.chain_length + 1, arrays, leaves)
 
 
 # ----------------------------------------------------------------------
@@ -246,37 +463,92 @@ def read_manifest(directory: str | Path) -> dict:
     return manifest
 
 
-def load_state(directory: str | Path, _retries: int = 2) -> tuple[dict, dict]:
-    """Load ``(state, manifest)`` from a checkpoint directory.
+def _read_npz(directory: Path, name: str, what: str) -> dict[str, np.ndarray]:
+    """Read every array of one committed npz file, mapping IO failures
+    to :class:`CheckpointError` (FileNotFoundError passes through for
+    the caller's concurrent-writer retry)."""
+    path = directory / name
+    try:
+        with np.load(path) as archive:
+            return {key: archive[key] for key in archive.files}
+    except FileNotFoundError:
+        raise
+    except Exception as error:  # truncated/corrupt zip, bad pickle header, ...
+        raise CheckpointError(f"{path}: corrupt {what} archive: {error}") from error
+
+
+def _check_member_name(directory: Path, name, what: str) -> str:
+    if not isinstance(name, str) or not name or _SEP in name or os.sep in name:
+        raise CheckpointError(f"checkpoint at {directory} has a bad {what} entry: {name!r}")
+    return name
+
+
+def _apply_delta(directory: Path, arrays: dict[str, np.ndarray],
+                 leaves: dict[str, Any], entry: dict, parent: str) -> str:
+    """Apply one committed delta entry in place; returns its delta_id."""
+    if not isinstance(entry, dict):
+        raise CheckpointError(f"checkpoint at {directory} has a malformed delta entry")
+    delta_id = entry.get("delta_id")
+    name = _check_member_name(directory, entry.get("file"), "delta file")
+    if entry.get("parent") != parent:
+        raise CheckpointError(
+            f"checkpoint at {directory} is torn: delta {name} chains off "
+            f"{entry.get('parent')!r} but the previous write is {parent!r}")
+    stored = _read_npz(directory, name, "delta")
+    stored_id = bytes(stored.pop(_DELTA_ID_KEY, np.empty(0, dtype=np.uint8))).decode("ascii")
+    if not delta_id or stored_id != delta_id:
+        raise CheckpointError(f"checkpoint at {directory} is torn: {MANIFEST_NAME} and "
+                              f"{name} come from different writes")
+    expected = set(entry.get("append", [])) | set(entry.get("replace", []))
+    if set(stored) != expected:
+        raise CheckpointError(f"checkpoint at {directory} is torn: delta {name} holds "
+                              f"{len(stored)} arrays, its manifest entry lists {len(expected)}")
+    for key in entry.get("append", []):
+        base = arrays.get(key)
+        tail = stored[key]
+        if base is None or base.ndim != tail.ndim or base.shape[1:] != tail.shape[1:] \
+                or base.dtype != tail.dtype:
+            # The writer never appends across dtypes (_is_append checks),
+            # so a mismatched tail proves corruption — reject it rather
+            # than letting np.concatenate silently promote the array.
+            raise CheckpointError(f"checkpoint at {directory} is torn: delta {name} "
+                                  f"appends to {key!r} but the base state has no "
+                                  "compatible array")
+        arrays[key] = np.concatenate([base, tail], axis=0)
+    for key in entry.get("replace", []):
+        arrays[key] = stored[key]
+    for key in entry.get("remove", []):
+        if key not in arrays:
+            raise CheckpointError(f"checkpoint at {directory} is torn: delta {name} "
+                                  f"removes unknown array {key!r}")
+        del arrays[key]
+    new_leaves = entry.get("leaves", {})
+    if not isinstance(new_leaves, dict):
+        raise CheckpointError(f"checkpoint at {directory} has a malformed delta entry")
+    leaves.update(new_leaves)
+    for key in entry.get("removed_leaves", []):
+        leaves.pop(key, None)
+    return delta_id
+
+
+def _load_flat(directory: Path, _retries: int = 2
+               ) -> tuple[dict[str, np.ndarray], dict[str, Any], dict, str]:
+    """``(arrays, leaves, manifest, tip_id)`` with any delta chain applied.
 
     Safe against one concurrent writer: if a save commits a new manifest
-    and garbage-collects the arrays file this reader was about to open,
-    the read is retried against the fresh manifest.  Concurrent *saves*
-    to the same directory are not supported (the fleet serialises them).
+    and garbage-collects a file this reader was about to open, the read
+    is retried against the fresh manifest.  Concurrent *saves* to the
+    same directory are not supported (the fleet serialises them).
     """
-    directory = Path(directory)
     manifest = read_manifest(directory)
-    arrays_name = manifest.get("arrays_file")
-    if not isinstance(arrays_name, str) or _SEP in arrays_name or os.sep in arrays_name:
-        raise CheckpointError(f"checkpoint at {directory} has a bad arrays_file entry: "
-                              f"{arrays_name!r}")
-    arrays_path = directory / arrays_name
-    if not arrays_path.is_file():
-        if _retries > 0 and read_manifest(directory).get("arrays_file") != arrays_name:
-            return load_state(directory, _retries=_retries - 1)
-        raise CheckpointError(f"checkpoint at {directory} is missing its arrays file "
-                              f"{arrays_name}")
+    arrays_name = _check_member_name(directory, manifest.get("arrays_file"), "arrays_file")
     try:
-        with np.load(arrays_path) as archive:
-            arrays = {key: archive[key] for key in archive.files}
+        arrays = _read_npz(directory, arrays_name, "array")
     except FileNotFoundError:
-        # Unlinked between the is_file check and the open: same race.
         if _retries > 0:
-            return load_state(directory, _retries=_retries - 1)
+            return _load_flat(directory, _retries=_retries - 1)
         raise CheckpointError(f"checkpoint at {directory} is missing its arrays file "
                               f"{arrays_name}")
-    except Exception as error:  # truncated/corrupt zip, bad pickle header, ...
-        raise CheckpointError(f"{arrays_path}: corrupt array archive: {error}") from error
     expected = set(manifest.get("array_keys", []))
     if set(arrays) != expected:
         raise CheckpointError(f"checkpoint at {directory} is torn: manifest expects "
@@ -285,7 +557,34 @@ def load_state(directory: str | Path, _retries: int = 2) -> tuple[dict, dict]:
     if arrays_save_id != manifest.get("save_id"):
         raise CheckpointError(f"checkpoint at {directory} is torn: {MANIFEST_NAME} and "
                               f"{arrays_name} come from different saves")
-    return unflatten_state(arrays, manifest.get("state", {})), manifest
+    leaves = dict(manifest.get("state", {}))
+    tip = manifest.get("save_id")
+    deltas = manifest.get("deltas", [])
+    if deltas and manifest.get("format_version") != INCREMENTAL_VERSION:
+        raise CheckpointError(f"checkpoint at {directory} carries a delta chain but "
+                              f"declares format {manifest.get('format_version')!r}")
+    for entry in deltas:
+        try:
+            tip = _apply_delta(directory, arrays, leaves, entry, tip)
+        except FileNotFoundError:
+            # A concurrent full save compacted the chain away between our
+            # manifest read and this delta read: start over.
+            if _retries > 0:
+                return _load_flat(directory, _retries=_retries - 1)
+            raise CheckpointError(f"checkpoint at {directory} is missing committed "
+                                  f"delta file {entry.get('file')}")
+    return arrays, leaves, manifest, tip
+
+
+def load_state(directory: str | Path, _retries: int = 2) -> tuple[dict, dict]:
+    """Load ``(state, manifest)`` from a checkpoint directory.
+
+    Any committed delta chain is replayed onto the base save, so the
+    state returned is exactly what the last ``save_incremental`` (or
+    full save) captured.
+    """
+    arrays, leaves, manifest, _ = _load_flat(Path(directory), _retries=_retries)
+    return unflatten_state(arrays, leaves), manifest
 
 
 def spec_from_manifest(manifest: dict, state: dict) -> PipelineSpec:
@@ -340,6 +639,29 @@ def load_checkpoint_with_manifest(directory: str | Path) -> tuple:
         raise CheckpointError(f"checkpoint at {directory} is structurally invalid: "
                               f"{error}") from error
     return model, manifest
+
+
+def load_checkpoint_with_baseline(directory: str | Path) -> tuple:
+    """``(model, manifest, baseline)``: a pipeline plus the diff image.
+
+    The :class:`StateBaseline` captures the flattened state exactly as
+    committed on disk (base save + replayed deltas), ready to hand to
+    :func:`save_incremental` so the tenant's next write-back only pays
+    for what changed since this load.
+    """
+    directory = Path(directory)
+    arrays, leaves, manifest, tip = _load_flat(directory)
+    state = unflatten_state(arrays, leaves)
+    spec = spec_from_manifest(manifest, state)
+    try:
+        model = build_pipeline(spec)
+        model.load_state_dict(state)
+    except (KeyError, TypeError, ValueError) as error:
+        raise CheckpointError(f"checkpoint at {directory} is structurally invalid: "
+                              f"{error}") from error
+    chain = len(manifest.get("deltas", []))
+    baseline = StateBaseline.capture(manifest.get("save_id"), tip, chain, arrays, leaves)
+    return model, manifest, baseline
 
 
 def load_checkpoint(directory: str | Path):

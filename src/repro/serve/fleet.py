@@ -54,7 +54,11 @@ from repro.core.protocols import GeofenceDecision, GeofenceModel
 from repro.core.records import SignalRecord
 from repro.pipeline import PipelineSpec, build_pipeline
 from repro.pipeline.build import infer_spec
-from repro.serve.checkpoint import CheckpointError
+from repro.serve.checkpoint import (
+    DEFAULT_DELTA_MAX_FRACTION,
+    DEFAULT_MAX_DELTA_CHAIN,
+    CheckpointError,
+)
 from repro.serve.registry import (
     RESERVOIR_METADATA_KEY,
     ModelRegistry,
@@ -91,21 +95,47 @@ class GeofenceFleet:
         in-premises records.  The reservoir is what coordinated refresh
         refits the detector on; 0 disables it (and with it,
         refresh/reprovision).
+    incremental:
+        Write evictions/flushes through the incremental checkpoint
+        format: a write-back whose state only grew since the last
+        committed write appends a delta instead of rewriting the full
+        checkpoint (see :func:`repro.serve.checkpoint.save_incremental`).
+        Off by default — the on-disk layout then matches earlier
+        releases byte-for-byte in structure; the *reconstructed state*
+        is identical either way.
+    max_delta_chain / delta_max_fraction:
+        Incremental-mode knobs: compact with a full save after this many
+        chained deltas, and whenever a delta would store more than this
+        fraction of the full state's array bytes.
     """
 
     def __init__(self, registry: ModelRegistry | str, capacity: int = 8,
                  model_factory: Callable[[], GeofenceModel] | None = None,
                  telemetry: FleetTelemetry | None = None,
-                 reservoir_size: int = DEFAULT_RESERVOIR_SIZE):
+                 reservoir_size: int = DEFAULT_RESERVOIR_SIZE,
+                 incremental: bool = False,
+                 max_delta_chain: int = DEFAULT_MAX_DELTA_CHAIN,
+                 delta_max_fraction: float = DEFAULT_DELTA_MAX_FRACTION):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         if reservoir_size < 0:
             raise ValueError(f"reservoir_size must be >= 0, got {reservoir_size}")
+        if max_delta_chain < 1:
+            raise ValueError(f"max_delta_chain must be >= 1, got {max_delta_chain}")
+        if not 0.0 <= delta_max_fraction <= 1.0:
+            raise ValueError(f"delta_max_fraction must be in [0, 1], got {delta_max_fraction}")
         self.registry = registry if isinstance(registry, ModelRegistry) else ModelRegistry(registry)
         self.capacity = capacity
         self.model_factory = model_factory if model_factory is not None else GEM
         self.telemetry = telemetry if telemetry is not None else FleetTelemetry()
         self.reservoir_size = reservoir_size
+        self.incremental = incremental
+        self.max_delta_chain = max_delta_chain
+        self.delta_max_fraction = delta_max_fraction
+        # tenant_id -> StateBaseline (incremental mode only): the image
+        # of the tenant's last committed write, diffed against at the
+        # next write-back.
+        self._baselines: dict[str, object] = {}
         # tenant_id -> model, most-recently-used last.
         self._cache: "OrderedDict[str, GeofenceModel]" = OrderedDict()
         self._dirty: set[str] = set()
@@ -119,6 +149,10 @@ class GeofenceFleet:
         # nothing.
         self._anchors: dict[str, list[SignalRecord]] = {}
         self._recent: dict[str, "deque[SignalRecord]"] = {}
+        # Tenants with a staged refresh mid-rebuild: the cache-identity
+        # check at commit cannot see a *second* refresh of the same
+        # model object, so overlapping refreshes are refused up front.
+        self._refreshing: set[str] = set()
         self._lock = RLock()
 
     # ------------------------------------------------------------------
@@ -189,6 +223,7 @@ class GeofenceFleet:
             self._metadata.clear()
             self._anchors.clear()
             self._recent.clear()
+            self._baselines.clear()
 
     def __enter__(self) -> "GeofenceFleet":
         return self
@@ -263,16 +298,31 @@ class GeofenceFleet:
     # ------------------------------------------------------------------
     # Maintenance mechanics (driven by the control plane)
     # ------------------------------------------------------------------
-    def refresh(self, tenant_id: str) -> int:
+    def refresh(self, tenant_id: str,
+                admit_new_macs_after: int | None = None) -> int:
         """Coordinated refresh of one tenant from its inlier reservoir.
 
         Rebuilds the tenant model's embedding caches (trained MAC
-        universe preserved) and refits its detector on the re-embedded
-        anchor + recent reservoir, atomically (see
+        universe preserved, unless ``admit_new_macs_after=N`` admits
+        post-training MACs with at least N attached observations) and
+        refits its detector on the re-embedded anchor + recent
+        reservoir, atomically (see
         :meth:`repro.core.gem.EmbeddingGeofencer.refresh`): a failure
         leaves the tenant serving its pre-refresh state, un-dirtied by
         the attempt.  Returns the number of records the detector was
         refit on.
+
+        The fleet lock is **not** held during the heavy rebuild: the
+        copy phase snapshots the model under the lock, the rebuild runs
+        on the copies with the lock released (observes on other — and
+        this — tenant keep flowing), and the commit re-takes the lock
+        only for the pointer swap.  If the tenant was evicted, reloaded
+        or re-provisioned while the rebuild ran — or a second refresh of
+        the same tenant overlapped this one — the commit is refused
+        (ValueError) rather than clobbering the newer model.  Models
+        exposing ``refresh`` but not the staged ``begin_refresh`` /
+        ``commit_refresh`` protocol are refreshed inline under the lock,
+        as before.
         """
         with self._lock:
             model = self._acquire(tenant_id)
@@ -285,10 +335,34 @@ class GeofenceFleet:
                                  "(reservoir_size=0, or no inliers observed yet); "
                                  "nothing to refit the detector on")
             start = time.perf_counter()
-            absorbed = model.refresh(records)
-            elapsed = time.perf_counter() - start
-            self._dirty.add(tenant_id)
-        self.telemetry.record_refresh(tenant_id, seconds=elapsed)
+            staged = hasattr(model, "begin_refresh") and hasattr(model, "commit_refresh")
+            if staged:
+                if tenant_id in self._refreshing:
+                    raise ValueError(
+                        f"tenant {tenant_id!r} already has a refresh rebuilding; "
+                        "overlapping refreshes would silently revert each other")
+                job = model.begin_refresh(records,
+                                          admit_new_macs_after=admit_new_macs_after)
+                self._refreshing.add(tenant_id)
+            else:
+                absorbed = (model.refresh(records, admit_new_macs_after=admit_new_macs_after)
+                            if admit_new_macs_after is not None else model.refresh(records))
+                self._dirty.add(tenant_id)
+        if staged:
+            try:
+                # Heavy rebuild on the job's copies, fleet lock released.
+                absorbed = job.build()
+                with self._lock:
+                    if self._cache.get(tenant_id) is not model:
+                        raise ValueError(
+                            f"tenant {tenant_id!r} was evicted or replaced while its "
+                            "refresh was rebuilding; the result was discarded")
+                    model.commit_refresh(job)
+                    self._dirty.add(tenant_id)
+            finally:
+                with self._lock:
+                    self._refreshing.discard(tenant_id)
+        self.telemetry.record_refresh(tenant_id, seconds=time.perf_counter() - start)
         return absorbed
 
     def reprovision(self, tenant_id: str) -> GeofenceModel:
@@ -315,12 +389,16 @@ class GeofenceFleet:
             fresh.fit(records)
             elapsed = time.perf_counter() - start
             # Commit point: the fitted replacement takes the LRU slot and
-            # its training set becomes the new anchor.
+            # its training set becomes the new anchor.  The old baseline
+            # no longer describes anything worth diffing against (every
+            # array changed), so the next write-back compacts to a full
+            # save rather than computing a delta that cannot win.
             self._cache[tenant_id] = fresh
             self._cache.move_to_end(tenant_id)
             self._anchors[tenant_id] = records[-self.reservoir_size:]
             self._recent[tenant_id] = deque(maxlen=self.reservoir_size)
             self._dirty.add(tenant_id)
+            self._baselines.pop(tenant_id, None)
         self.telemetry.record_reprovision(tenant_id, seconds=elapsed)
         return fresh
 
@@ -379,7 +457,11 @@ class GeofenceFleet:
             start = time.perf_counter()
             # One read yields both, so model and metadata always belong
             # to the same save even with a concurrent writer process.
-            model, manifest = self.registry.load_with_manifest(tenant_id)
+            if self.incremental:
+                model, manifest, baseline = self.registry.load_with_baseline(tenant_id)
+                self._baselines[tenant_id] = baseline
+            else:
+                model, manifest = self.registry.load_with_manifest(tenant_id)
             metadata = dict(manifest.get("metadata", {}))
             # With reservoirs disabled, the persisted reservoir stays
             # inside the cached metadata so write-backs carry it forward
@@ -422,9 +504,12 @@ class GeofenceFleet:
         self._cache.pop(tenant_id)
         self._metadata.pop(tenant_id, None)
         # The reservoir was persisted with the write-back (or was never
-        # dirtied); the next load restores it from the manifest.
+        # dirtied); the next load restores it from the manifest.  The
+        # baseline leaves with the model: a reload rebuilds it from the
+        # committed chain, which is exactly what it would describe.
         self._anchors.pop(tenant_id, None)
         self._recent.pop(tenant_id, None)
+        self._baselines.pop(tenant_id, None)
         self.telemetry.record_eviction(tenant_id)
         # Bound telemetry memory the same way: fold the evicted tenant's
         # counters into the retired aggregate.
@@ -448,5 +533,17 @@ class GeofenceFleet:
                 "anchor": [record_to_dict(r) for r in anchor],
                 "recent": [record_to_dict(r) for r in recent],
             }
+        if self.incremental:
+            kind, baseline = self.registry.save_incremental(
+                tenant_id, model, self._baselines.get(tenant_id),
+                metadata=metadata, max_chain=self.max_delta_chain,
+                max_fraction=self.delta_max_fraction)
+            self._baselines[tenant_id] = baseline
+            elapsed = time.perf_counter() - start
+            if kind == "delta":
+                self.telemetry.record_delta_save(tenant_id, seconds=elapsed)
+            else:
+                self.telemetry.record_save(tenant_id, seconds=elapsed)
+            return
         self.registry.save(tenant_id, model, metadata=metadata)
         self.telemetry.record_save(tenant_id, seconds=time.perf_counter() - start)

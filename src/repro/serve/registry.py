@@ -16,11 +16,16 @@ import shutil
 from pathlib import Path
 
 from repro.serve.checkpoint import (
+    DEFAULT_DELTA_MAX_FRACTION,
+    DEFAULT_MAX_DELTA_CHAIN,
     MANIFEST_NAME,
     CheckpointError,
+    StateBaseline,
+    load_checkpoint_with_baseline,
     load_checkpoint_with_manifest,
     read_manifest,
     save_checkpoint,
+    save_incremental,
 )
 
 __all__ = ["ModelRegistry", "RESERVOIR_METADATA_KEY", "validate_tenant_id"]
@@ -61,6 +66,21 @@ class ModelRegistry:
         """Checkpoint ``model`` as ``tenant_id``'s current model."""
         return save_checkpoint(model, self.path_for(tenant_id), metadata=metadata)
 
+    def save_incremental(self, tenant_id: str, model,
+                         baseline: StateBaseline | None,
+                         metadata: dict | None = None,
+                         max_chain: int = DEFAULT_MAX_DELTA_CHAIN,
+                         max_fraction: float = DEFAULT_DELTA_MAX_FRACTION,
+                         ) -> tuple[str, StateBaseline]:
+        """Write-back via the incremental format when a delta suffices.
+
+        Returns ``("delta" | "full", new_baseline)``; see
+        :func:`repro.serve.checkpoint.save_incremental`.
+        """
+        return save_incremental(model, self.path_for(tenant_id), baseline,
+                                metadata=metadata, max_chain=max_chain,
+                                max_fraction=max_fraction)
+
     def delete(self, tenant_id: str) -> bool:
         """Remove a tenant's checkpoint; True if one existed."""
         path = self.path_for(tenant_id)
@@ -86,6 +106,13 @@ class ModelRegistry:
         if not self.exists(tenant_id):
             raise CheckpointError(f"tenant {tenant_id!r} has no checkpoint under {self.root}")
         return load_checkpoint_with_manifest(path)
+
+    def load_with_baseline(self, tenant_id: str) -> tuple:
+        """``(model, manifest, baseline)`` for incremental write-back."""
+        path = self.path_for(tenant_id)
+        if not self.exists(tenant_id):
+            raise CheckpointError(f"tenant {tenant_id!r} has no checkpoint under {self.root}")
+        return load_checkpoint_with_baseline(path)
 
     def manifest(self, tenant_id: str) -> dict:
         """The tenant checkpoint's full manifest (version, metadata, ...)."""

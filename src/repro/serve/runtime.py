@@ -1,0 +1,300 @@
+"""`repro.serve.runtime` — the sharded serving daemon.
+
+PR 4 left `repro.serve` a passive library: one fleet, one lock, and a
+controller that only acts when the caller remembers to call it.  The
+:class:`ServingRuntime` is the serving *process* the ROADMAP's
+millions-of-homes deployment needs:
+
+* **Sharding** — tenants are hash-partitioned across N
+  :class:`~repro.serve.shard.FleetShard`\\ s.  Each shard owns its own
+  lock, LRU slice and telemetry, so observations for tenants on
+  different shards never contend; the partition is a stable function of
+  the tenant id (CRC-32), so a tenant's shard — and therefore its LRU
+  behaviour — is deterministic across runs and processes.
+* **Background maintenance** — a
+  :class:`~repro.serve.scheduler.MaintenanceScheduler` worker drains
+  each shard's decision bus into its controller and executes policy
+  decisions (coordinated refresh, escalation to re-provision, flush,
+  idle eviction) off the observe path.  Refreshes run swap-on-commit:
+  the shard lock is held for the model copy and the pointer swap, not
+  for the rebuild in between.
+* **Incremental checkpoints** — shards default to the delta write-back
+  format (:func:`repro.serve.checkpoint.save_incremental`), cutting the
+  LRU's write-back amplification: an eviction whose state only grew
+  appends a tail instead of rewriting the model.
+
+Determinism contract: ``ServingRuntime(root, num_shards=1,
+scheduler_interval=None, incremental=False)`` is bit-identical to a
+bare :class:`~repro.serve.fleet.GeofenceFleet` — same decisions, same
+checkpoint state — and with ``incremental=True`` the *reconstructed*
+state is still identical; only the on-disk layout differs.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import OrderedDict
+from typing import Callable, Iterable, Sequence
+
+from repro.core.protocols import GeofenceDecision, GeofenceModel
+from repro.core.records import SignalRecord
+from repro.pipeline import PipelineSpec
+from repro.serve.fleet import DEFAULT_RESERVOIR_SIZE
+from repro.serve.policy import MaintenancePolicy
+from repro.serve.registry import ModelRegistry
+from repro.serve.scheduler import MaintenanceScheduler
+from repro.serve.shard import FleetShard
+from repro.serve.telemetry import TenantStats
+
+__all__ = ["ServingRuntime", "shard_index"]
+
+
+def shard_index(tenant_id: str, num_shards: int) -> int:
+    """Stable tenant → shard partition (CRC-32 of the id).
+
+    Python's own ``hash()`` is salted per process; CRC-32 keeps the
+    partition identical across runs, processes and machines, so a
+    tenant's checkpoint is always maintained by the same shard of any
+    equally-sized runtime.
+    """
+    return zlib.crc32(tenant_id.encode("utf-8")) % num_shards
+
+
+class ServingRuntime:
+    """Hash-sharded, background-maintained, multi-tenant geofence server.
+
+    Parameters
+    ----------
+    registry:
+        Shared checkpoint store (or a path to root one at).  Shards
+        share the registry; they never share a tenant.
+    num_shards:
+        Fleet shards to partition tenants across.
+    capacity:
+        LRU budget *per shard* (each shard owns its slice outright; a
+        runtime holds at most ``num_shards * capacity`` resident models).
+    policy / policies:
+        Default and per-tenant maintenance policies, executed by each
+        shard's controller on the maintenance worker.
+    scheduler_interval:
+        Seconds between background maintenance ticks; ``None`` disables
+        the worker entirely (serial mode — call :meth:`maintain` to pump
+        by hand).
+    sweep_every:
+        Run controller sweeps every N ticks (see
+        :class:`~repro.serve.scheduler.MaintenanceScheduler`).
+    incremental:
+        Use the incremental checkpoint format for write-backs
+        (default on — this is the runtime's amplification fix; pass
+        False for byte-layout compatibility with plain fleets).
+    model_factory / reservoir_size / max_delta_chain / delta_max_fraction:
+        Forwarded to each shard's :class:`GeofenceFleet`.
+    """
+
+    def __init__(self, registry: ModelRegistry | str, num_shards: int = 1,
+                 capacity: int = 8,
+                 model_factory: Callable[[], GeofenceModel] | None = None,
+                 reservoir_size: int = DEFAULT_RESERVOIR_SIZE,
+                 incremental: bool = True,
+                 max_delta_chain: int | None = None,
+                 delta_max_fraction: float | None = None,
+                 policy: MaintenancePolicy | None = None,
+                 policies: dict[str, MaintenancePolicy] | None = None,
+                 scheduler_interval: float | None = 0.05,
+                 sweep_every: int = 20):
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        self.registry = registry if isinstance(registry, ModelRegistry) \
+            else ModelRegistry(registry)
+        self.num_shards = num_shards
+        background = scheduler_interval is not None
+        # Serial mode arms the decision bus at construction when a
+        # configured policy could act (maintain() is the pump there); a
+        # background runtime always starts disarmed and arms in start(),
+        # so a constructed-but-never-started daemon cannot accumulate
+        # decisions nothing will ever pump.  `None` lets the shard
+        # derive the policy-could-act default in one place.
+        track = False if background else None
+        self.shards = [
+            FleetShard(index, self.registry, capacity=capacity,
+                       model_factory=model_factory,
+                       reservoir_size=reservoir_size,
+                       incremental=incremental,
+                       max_delta_chain=max_delta_chain,
+                       delta_max_fraction=delta_max_fraction,
+                       policy=policy, policies=policies,
+                       track_decisions=track)
+            for index in range(num_shards)
+        ]
+        self.scheduler = MaintenanceScheduler(
+            self.shards, interval=scheduler_interval,
+            sweep_every=sweep_every) if background else None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def shard_for(self, tenant_id: str) -> FleetShard:
+        """The shard that owns ``tenant_id`` (stable across runs)."""
+        return self.shards[shard_index(tenant_id, self.num_shards)]
+
+    # ------------------------------------------------------------------
+    # Daemon lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ServingRuntime":
+        """Launch background maintenance (no-op in serial mode).
+
+        Also arms every shard's decision bus: per-tenant policies can
+        arrive via a tenant spec's ``maintenance`` block, which only the
+        controller can see, so a running daemon tracks everything.
+        Observations served before ``start()`` are not tracked.
+        """
+        if self.scheduler is not None:
+            for shard in self.shards:
+                shard.track_decisions = True
+            self.scheduler.start()
+        return self
+
+    def close(self) -> None:
+        """Stop maintenance (final drain included), flush and drop all shards."""
+        if self._closed:
+            return
+        if self.scheduler is not None and (self.scheduler.running
+                                           or any(s.pending_decisions for s in self.shards)):
+            self.scheduler.stop()
+        for shard in self.shards:
+            shard.close()
+        self._closed = True
+
+    def __enter__(self) -> "ServingRuntime":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+    def observe(self, tenant_id: str, record: SignalRecord) -> GeofenceDecision:
+        """Algorithm-2 observation, routed to the owning shard."""
+        return self.shard_for(tenant_id).observe(tenant_id, record)
+
+    def observe_many(self, items: Iterable[tuple[str, SignalRecord]]) -> list[GeofenceDecision]:
+        """Batched dispatch: split by shard, answer in input order.
+
+        Each shard keeps its own batched grouping (one model lookup per
+        tenant per batch), so a single-shard runtime is exactly
+        ``GeofenceFleet.observe_many``.
+        """
+        items = list(items)
+        by_shard: "OrderedDict[int, list[int]]" = OrderedDict()
+        for position, (tenant_id, _) in enumerate(items):
+            by_shard.setdefault(shard_index(tenant_id, self.num_shards),
+                                []).append(position)
+        decisions: list[GeofenceDecision | None] = [None] * len(items)
+        for index, positions in by_shard.items():
+            batch = self.shards[index].observe_many(items[p] for p in positions)
+            for position, decision in zip(positions, batch):
+                decisions[position] = decision
+        return decisions
+
+    def score(self, tenant_id: str, record: SignalRecord) -> float:
+        return self.shard_for(tenant_id).score(tenant_id, record)
+
+    # ------------------------------------------------------------------
+    # Tenant lifecycle / maintenance mechanics
+    # ------------------------------------------------------------------
+    def provision(self, tenant_id: str, records: Sequence[SignalRecord],
+                  metadata: dict | None = None,
+                  spec: PipelineSpec | None = None) -> GeofenceModel:
+        return self.shard_for(tenant_id).provision(tenant_id, records,
+                                                   metadata=metadata, spec=spec)
+
+    def refresh(self, tenant_id: str, admit_new_macs_after: int | None = None) -> int:
+        return self.shard_for(tenant_id).refresh(
+            tenant_id, admit_new_macs_after=admit_new_macs_after)
+
+    def reprovision(self, tenant_id: str) -> GeofenceModel:
+        return self.shard_for(tenant_id).reprovision(tenant_id)
+
+    def evict(self, tenant_id: str) -> bool:
+        return self.shard_for(tenant_id).evict(tenant_id)
+
+    def flush(self, tenant_id: str | None = None) -> int:
+        if tenant_id is not None:
+            return self.shard_for(tenant_id).flush(tenant_id)
+        return sum(shard.flush() for shard in self.shards)
+
+    def is_dirty(self, tenant_id: str) -> bool:
+        return self.shard_for(tenant_id).fleet.is_dirty(tenant_id)
+
+    def reservoir(self, tenant_id: str) -> list[SignalRecord]:
+        return self.shard_for(tenant_id).fleet.reservoir(tenant_id)
+
+    def maintain(self) -> int:
+        """One synchronous pump + sweep over every shard (serial mode).
+
+        With a live background scheduler this is unnecessary (and must
+        not race it); it exists so a serial runtime — or a test — can
+        run the exact same maintenance the daemon would, on the caller's
+        thread.  Returns the number of decisions drained.
+        """
+        if self.scheduler is not None and self.scheduler.running:
+            raise RuntimeError("maintain() would race the running background "
+                               "scheduler; call it only in serial mode or "
+                               "after stop()")
+        drained = 0
+        for shard in self.shards:
+            drained += shard.pump()
+            shard.sweep()
+        return drained
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def resident_tenants(self) -> list[str]:
+        """Resident tenants across shards (shard-major, LRU order within)."""
+        out: list[str] = []
+        for shard in self.shards:
+            out.extend(shard.resident_tenants)
+        return out
+
+    def telemetry_totals(self) -> TenantStats:
+        """Fleet-wide counters summed across every shard."""
+        total = TenantStats()
+        for shard in self.shards:
+            total.merge(shard.fleet.telemetry.totals())
+        return total
+
+    def telemetry_snapshot(self) -> dict:
+        """Merged per-tenant/fleet counters (tenants are shard-disjoint)."""
+        tenants: dict[str, dict] = {}
+        retired = TenantStats()
+        for shard in self.shards:
+            snapshot = shard.fleet.telemetry.snapshot()
+            tenants.update(snapshot["tenants"])
+            retired.merge(TenantStats(**snapshot["retired"]))
+        totals = TenantStats(**retired.as_dict())
+        for counters in tenants.values():
+            totals.merge(TenantStats(**counters))
+        return {"tenants": dict(sorted(tenants.items())),
+                "retired": retired.as_dict(), "totals": totals.as_dict()}
+
+    def maintenance_actions(self) -> list[tuple[str, str]]:
+        """Controller action log across shards, shard-major order."""
+        out: list[tuple[str, str]] = []
+        for shard in self.shards:
+            out.extend(shard.controller.actions)
+        return out
+
+    def stats(self) -> dict:
+        """Operational summary: shards, residency, scheduler, telemetry."""
+        totals = self.telemetry_totals()
+        return {
+            "num_shards": self.num_shards,
+            "resident": [len(shard.resident_tenants) for shard in self.shards],
+            "pending_decisions": [shard.pending_decisions for shard in self.shards],
+            "scheduler": self.scheduler.stats() if self.scheduler is not None else None,
+            "totals": totals.as_dict(),
+        }

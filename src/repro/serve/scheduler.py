@@ -1,0 +1,150 @@
+"""Background maintenance worker for a sharded serving runtime.
+
+The :class:`MaintenanceScheduler` is the piece that turns the passive
+fleet library into a daemon: a single worker thread that periodically
+**pumps** each shard's decision bus into its controller (executing any
+scheduled or telemetry-triggered refreshes there, off the observe path)
+and, less often, runs the controllers' **sweep** clauses (flush, idle
+eviction).  One thread serves every shard — controllers are
+single-threaded by design, and maintenance is IO/compute the shards'
+own locks already order against the data plane.
+
+Failure containment: a maintenance exception (e.g. a refresh discarded
+because its tenant was evicted mid-rebuild) must not kill the daemon.
+Each tick catches per-shard errors into a bounded ``errors`` log and
+keeps going; inspect it (or ``stats()``) from operational code.
+
+Clean shutdown: :meth:`stop` wakes the worker, joins it, and runs one
+final synchronous drain so every decision observed before the stop is
+folded into controller telemetry — the conservation property the
+concurrency tests pin.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+from typing import Sequence
+
+__all__ = ["MaintenanceScheduler"]
+
+_MAX_ERRORS = 64
+
+
+class MaintenanceScheduler:
+    """Periodic pump + sweep over a set of :class:`FleetShard`\\ s.
+
+    Parameters
+    ----------
+    shards:
+        The shards to maintain (the runtime passes its own).
+    interval:
+        Seconds between ticks.  Each tick drains every shard's decision
+        queue; refreshes the controllers decide on run inside the tick.
+    sweep_every:
+        Run the controllers' ``maintain()`` sweep every N ticks;
+        0 disables sweeps (pump only).
+    """
+
+    def __init__(self, shards: Sequence, interval: float = 0.05,
+                 sweep_every: int = 20):
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        if sweep_every < 0:
+            raise ValueError(f"sweep_every must be >= 0, got {sweep_every}")
+        self.shards = list(shards)
+        self.interval = interval
+        self.sweep_every = sweep_every
+        self.errors: list[tuple[int, str]] = []   # (shard index, traceback tail)
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._ticks = 0
+        self._drained = 0
+        self._sweeps = 0
+        self._started_at: float | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "MaintenanceScheduler":
+        """Launch the worker thread (idempotent while running)."""
+        if self.running:
+            return self
+        self._stop.clear()
+        self._started_at = time.monotonic()
+        self._thread = threading.Thread(target=self._run,
+                                        name="repro-maintenance", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop the worker and drain what it had not yet pumped.
+
+        After this returns, every decision the data plane enqueued
+        before the call has been folded into its shard's controller.
+        """
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout)
+            if thread.is_alive():  # pragma: no cover - only on a wedged tick
+                raise RuntimeError("maintenance worker did not stop within "
+                                   f"{timeout}s; a tick appears wedged")
+        self._thread = None
+        # Final synchronous drain: the worker may have been parked on
+        # its interval wait while decisions kept arriving.
+        self.tick(sweep=False)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.tick()
+
+    # ------------------------------------------------------------------
+    # One iteration (public so serial-mode callers can pump by hand)
+    # ------------------------------------------------------------------
+    def tick(self, sweep: bool | None = None) -> int:
+        """Pump every shard once (and maybe sweep); returns decisions drained.
+
+        ``sweep=None`` follows the ``sweep_every`` cadence; True/False
+        force or suppress the sweep for this tick.
+        """
+        drained = 0
+        self._ticks += 1
+        if sweep is None:
+            sweep = bool(self.sweep_every) and self._ticks % self.sweep_every == 0
+        for shard in self.shards:
+            try:
+                drained += shard.pump()
+                if sweep:
+                    shard.sweep()
+            except Exception:
+                self._record_error(shard.index)
+        self._drained += drained
+        if sweep:
+            self._sweeps += 1
+        return drained
+
+    def _record_error(self, shard_index: int) -> None:
+        if len(self.errors) >= _MAX_ERRORS:
+            del self.errors[: _MAX_ERRORS // 2]
+        self.errors.append((shard_index, traceback.format_exc(limit=4)))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "running": self.running,
+            "ticks": self._ticks,
+            "decisions_drained": self._drained,
+            "sweeps": self._sweeps,
+            "pending": sum(shard.pending_decisions for shard in self.shards),
+            "errors": len(self.errors),
+            "uptime_seconds": (time.monotonic() - self._started_at
+                               if self._started_at is not None else 0.0),
+        }

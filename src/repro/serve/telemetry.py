@@ -27,7 +27,8 @@ class TenantStats:
     buffered: int = 0          # confident inliers entering the update buffer
     updates_applied: int = 0   # batch updates actually flushed into the detector
     loads: int = 0             # checkpoint loads (cache misses)
-    saves: int = 0             # checkpoint write-backs
+    saves: int = 0             # full checkpoint write-backs
+    delta_saves: int = 0       # incremental (delta) write-backs
     evictions: int = 0         # LRU evictions
     refreshes: int = 0         # coordinated refreshes (cache rebuild + refit)
     reprovisions: int = 0      # full refits from the recent-inlier reservoir
@@ -94,6 +95,12 @@ class FleetTelemetry:
         with self._lock:
             stats = self._tenant(tenant_id)
             stats.saves += 1
+            stats.save_seconds += seconds
+
+    def record_delta_save(self, tenant_id: str, seconds: float = 0.0) -> None:
+        with self._lock:
+            stats = self._tenant(tenant_id)
+            stats.delta_saves += 1
             stats.save_seconds += seconds
 
     def record_eviction(self, tenant_id: str) -> None:

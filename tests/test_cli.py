@@ -304,3 +304,73 @@ class TestErrorHandling:
         assert run("serve", "--registry", str(tmp_path / "reg"),
                    "--events", str(events)) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestRuntimeDaemon:
+    @pytest.fixture()
+    def served_world(self, tmp_path):
+        """A registry with one GEM tenant plus an event stream for it."""
+        records_path = tmp_path / "train.jsonl"
+        save_records(synthetic_records(30, seed=0, center=2.0), records_path)
+        registry_root = tmp_path / "reg"
+        assert run("train", "--arm", "GEM", "--quick",
+                   "--records", str(records_path),
+                   "--registry", str(registry_root), "--tenant", "t1") == 0
+        events = tmp_path / "events.jsonl"
+        with events.open("w") as handle:
+            for record in synthetic_records(24, seed=5, center=2.0):
+                event = record_to_dict(record)
+                event["tenant"] = "t1"
+                handle.write(json.dumps(event) + "\n")
+        return registry_root, events
+
+    def test_runtime_replays_with_background_maintenance(self, tmp_path,
+                                                         served_world, capsys):
+        registry_root, events = served_world
+        policy_path = tmp_path / "policy.json"
+        policy_path.write_text('{"check_every": 4, "refresh_every": 8}\n')
+        out_path = tmp_path / "decisions.jsonl"
+        assert run("runtime", "--registry", str(registry_root),
+                   "--events", str(events), "--shards", "2",
+                   "--policy", str(policy_path), "--interval", "0.01",
+                   "-o", str(out_path)) == 0
+        decisions = [json.loads(line) for line in out_path.read_text().splitlines()]
+        assert len(decisions) == 24
+        err = capsys.readouterr().err
+        assert "across 2 shard(s)" in err
+        assert "scheduler:" in err and "drained" in err
+
+    def test_serve_daemon_alias_serial_mode(self, tmp_path, served_world, capsys):
+        registry_root, events = served_world
+        policy_path = tmp_path / "policy.json"
+        policy_path.write_text('{"check_every": 4, "refresh_every": 8}\n')
+        assert run("serve-daemon", "--registry", str(registry_root),
+                   "--events", str(events), "--interval", "0",
+                   "--policy", str(policy_path)) == 0
+        err = capsys.readouterr().err
+        # Serial mode: maintenance ran synchronously at the end, and no
+        # background scheduler line was printed.
+        assert "refreshes=" in err
+        assert "scheduler:" not in err
+
+    def test_runtime_decisions_match_serve(self, tmp_path, served_world, capsys):
+        import shutil
+        registry_root, events = served_world
+        # Separate registry copies: each replay advances its tenant's
+        # checkpoint, so sharing one root would chain the streams.
+        runtime_root = tmp_path / "reg-runtime"
+        shutil.copytree(registry_root, runtime_root)
+        serve_out = tmp_path / "serve.jsonl"
+        runtime_out = tmp_path / "runtime.jsonl"
+        assert run("serve", "--registry", str(registry_root),
+                   "--events", str(events), "-o", str(serve_out)) == 0
+        assert run("runtime", "--registry", str(runtime_root),
+                   "--events", str(events), "--shards", "1",
+                   "--interval", "0", "--no-incremental",
+                   "-o", str(runtime_out)) == 0
+        assert runtime_out.read_text() == serve_out.read_text()
+
+    def test_runtime_missing_events_file(self, tmp_path, capsys):
+        assert run("runtime", "--registry", str(tmp_path / "reg"),
+                   "--events", str(tmp_path / "missing.jsonl")) == 2
+        assert "error:" in capsys.readouterr().err

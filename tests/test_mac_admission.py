@@ -1,0 +1,174 @@
+"""Support-threshold MAC admission at refresh (admit_new_macs_after)."""
+
+import numpy as np
+import pytest
+
+from conftest import synthetic_records
+from repro.core import GEM, GEMConfig
+from repro.core.records import SignalRecord
+from repro.embedding.bisage import BiSAGEConfig
+from repro.serve import GeofenceFleet, MaintenancePolicy
+from repro.serve.controller import FleetController
+
+FAST_CONFIG = GEMConfig(bisage=BiSAGEConfig(dim=8, epochs=1, seed=0))
+
+
+def trained_gem():
+    return GEM(FAST_CONFIG).fit(synthetic_records(25, num_macs=8, seed=0))
+
+
+def new_mac_record(strength: float = -50.0, extra: dict | None = None):
+    """A record sensing one post-training MAC plus known anchors."""
+    readings = {"mac00": -52.0, "mac01": -58.0, "newcomer": strength}
+    readings.update(extra or {})
+    return SignalRecord(readings, timestamp=99.0)
+
+
+class TestBiSAGEAdmission:
+    def _bisage_with_newcomer(self, attachments: int):
+        gem = trained_gem()
+        for i in range(attachments):
+            gem.observe(new_mac_record(strength=-50.0 - i))
+        return gem
+
+    def test_supported_newcomer_joins_aggregation(self):
+        gem = self._bisage_with_newcomer(attachments=3)
+        bisage = gem.embedder.model
+        boundary = bisage._macs_aggregated
+        index = gem.graph.mac_index("newcomer")
+        assert index >= boundary  # genuinely post-training
+        strict = trained_gem()
+        # Replay the same attachments so both graphs are identical.
+        for i in range(3):
+            strict.observe(new_mac_record(strength=-50.0 - i))
+        gem.embedder.refresh_cache(admit_new_macs_after=3)
+        strict.embedder.refresh_cache()
+        assert gem.embedder.model._mac_admitted is not None
+        assert gem.embedder.model._mac_admitted[index]
+        assert strict.embedder.model._mac_admitted is None
+        # The admitted MAC now contributes to the embedding: the two
+        # otherwise-identical models disagree on a record sensing it.
+        probe = new_mac_record(strength=-45.0)
+        row_admitted = gem.embedder.model.embed_readings(probe.readings)
+        row_strict = strict.embedder.model.embed_readings(probe.readings)
+        assert not np.allclose(row_admitted, row_strict)
+
+    def test_unsupported_newcomer_stays_out(self):
+        gem = self._bisage_with_newcomer(attachments=2)
+        gem.embedder.refresh_cache(admit_new_macs_after=3)
+        assert gem.embedder.model._mac_admitted is None  # nobody qualified
+
+    def test_strict_refresh_forgets_admissions(self):
+        gem = self._bisage_with_newcomer(attachments=3)
+        gem.embedder.refresh_cache(admit_new_macs_after=3)
+        assert gem.embedder.model._mac_admitted is not None
+        gem.embedder.refresh_cache()  # strict trained-universe refresh
+        assert gem.embedder.model._mac_admitted is None
+
+    def test_admissions_survive_checkpoint_round_trip(self):
+        gem = self._bisage_with_newcomer(attachments=3)
+        gem.embedder.refresh_cache(admit_new_macs_after=3)
+        probe = new_mac_record(strength=-45.0)
+        before = gem.embedder.model.embed_readings(probe.readings)
+        clone = GEM.from_state_dict(gem.state_dict())
+        after = clone.embedder.model.embed_readings(probe.readings)
+        assert np.array_equal(before, after)
+        assert clone.embedder.model._mac_admitted is not None
+
+    def test_threshold_validated(self):
+        gem = trained_gem()
+        with pytest.raises(ValueError, match="admit_new_macs_after"):
+            gem.embedder.refresh_cache(admit_new_macs_after=0)
+        with pytest.raises(ValueError, match="admit_new_macs_after"):
+            gem.refresh(synthetic_records(5, num_macs=8, seed=1),
+                        admit_new_macs_after=-1)
+
+
+class TestGraphSAGEAdmission:
+    def test_mask_and_round_trip(self):
+        from repro.core.embedders import GraphSAGEEmbedder
+        from repro.embedding.graphsage import GraphSAGE, GraphSAGEConfig
+        config = GraphSAGEConfig(dim=8, epochs=1, seed=0)
+        embedder = GraphSAGEEmbedder(config).fit(
+            synthetic_records(20, num_macs=8, seed=0))
+        for i in range(3):
+            embedder.embed(new_mac_record(strength=-50.0 - i), attach=True)
+        embedder.refresh_cache(admit_new_macs_after=3)
+        model = embedder.model
+        assert model._mac_admitted is not None
+        index = embedder.graph.mac_index("newcomer")
+        assert model._mac_admitted[index]
+        clone = GraphSAGEEmbedder(config)
+        clone.load_state_dict(embedder.state_dict())
+        probe = new_mac_record(strength=-45.0)
+        assert np.array_equal(
+            model.embed_readings(probe.readings),
+            clone.model.embed_readings(probe.readings))
+        assert clone.model._mac_admitted is not None
+
+
+class TestCoordinatedRefreshThreading:
+    def test_refresh_with_admission_differs_from_strict(self):
+        inliers = synthetic_records(15, num_macs=8, seed=3)
+        admitted, strict = trained_gem(), trained_gem()
+        for i in range(4):
+            admitted.observe(new_mac_record(strength=-50.0 - i))
+            strict.observe(new_mac_record(strength=-50.0 - i))
+        absorbed = admitted.refresh(inliers, admit_new_macs_after=2)
+        assert absorbed > 0
+        strict.refresh(inliers)
+        assert admitted.embedder.model._mac_admitted is not None
+        assert strict.embedder.model._mac_admitted is None
+        probe = new_mac_record(strength=-45.0)
+        row_admitted = admitted.embedder.model.embed_readings(probe.readings)
+        row_strict = strict.embedder.model.embed_readings(probe.readings)
+        assert not np.allclose(row_admitted, row_strict)
+
+
+class TestPolicyPlumbing:
+    def test_policy_field_validates_and_round_trips(self):
+        policy = MaintenancePolicy(check_every=8, refresh_every=16,
+                                   admit_new_macs_after=3)
+        assert MaintenancePolicy.from_json(policy.to_json()) == policy
+        assert "admit new MACs after 3" in policy.describe()
+        with pytest.raises(ValueError, match="admit_new_macs_after"):
+            MaintenancePolicy(admit_new_macs_after=-1)
+
+    def test_controller_threads_threshold_to_fleet_refresh(self):
+        calls = []
+
+        class StubFleet:
+            def resident(self, tenant_id):
+                return None
+
+            def refresh(self, tenant_id, admit_new_macs_after=None):
+                calls.append((tenant_id, admit_new_macs_after))
+
+            def is_dirty(self, tenant_id):
+                return False
+
+        class Decision:
+            inside = True
+            score = 0.5
+            buffered = True
+            updated = False
+
+        policy = MaintenancePolicy(check_every=2, refresh_every=2,
+                                   admit_new_macs_after=4)
+        controller = FleetController(StubFleet(), policy)
+        for _ in range(2):
+            controller.step("t", Decision())
+        assert calls == [("t", 4)]
+
+    def test_fleet_refresh_accepts_threshold(self, tmp_path):
+        fleet = GeofenceFleet(tmp_path / "m", capacity=2,
+                              model_factory=lambda: GEM(FAST_CONFIG),
+                              reservoir_size=16)
+        fleet.provision("t", synthetic_records(25, num_macs=8, seed=0))
+        for i in range(4):
+            fleet.observe("t", new_mac_record(strength=-50.0 - i))
+        absorbed = fleet.refresh("t", admit_new_macs_after=2)
+        assert absorbed > 0
+        model = fleet.resident("t")
+        assert model.embedder.model._mac_admitted is not None
+        fleet.close()

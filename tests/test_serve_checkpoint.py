@@ -178,10 +178,11 @@ class TestGEMCheckpoint:
             load_checkpoint(tmp_path / "nope")
 
     def test_future_version_rejected(self, tmp_path):
+        from repro.serve.checkpoint import SUPPORTED_VERSIONS
         save_checkpoint(fitted_gem(), tmp_path / "ckpt")
         path = tmp_path / "ckpt" / MANIFEST_NAME
         manifest = json.loads(path.read_text())
-        manifest["format_version"] = CHECKPOINT_VERSION + 1
+        manifest["format_version"] = max(SUPPORTED_VERSIONS) + 1
         path.write_text(json.dumps(manifest))
         with pytest.raises(CheckpointError, match="version"):
             load_checkpoint(tmp_path / "ckpt")

@@ -1,0 +1,323 @@
+"""Incremental (delta) checkpoints: round trips, compaction, crash safety."""
+
+import json
+
+import numpy as np
+import pytest
+
+from conftest import synthetic_records
+from repro.core import GEM, GEMConfig
+from repro.embedding.bisage import BiSAGEConfig
+from repro.serve import (CheckpointError, GeofenceFleet, ModelRegistry,
+                         load_checkpoint, load_checkpoint_with_baseline,
+                         read_manifest, save_checkpoint, save_incremental)
+from repro.serve.checkpoint import (CHECKPOINT_VERSION, INCREMENTAL_VERSION,
+                                    MANIFEST_NAME, flatten_state, load_state)
+
+FAST_CONFIG = GEMConfig(bisage=BiSAGEConfig(dim=8, epochs=1, seed=0))
+
+
+def make_gem() -> GEM:
+    return GEM(FAST_CONFIG)
+
+
+def records(seed: int, n: int = 25):
+    return synthetic_records(n, num_macs=10, seed=seed)
+
+
+def assert_states_equal(model_a, model_b) -> None:
+    arrays_a, leaves_a = flatten_state(model_a.state_dict())
+    arrays_b, leaves_b = flatten_state(model_b.state_dict())
+    assert set(arrays_a) == set(arrays_b)
+    for key in arrays_a:
+        assert np.array_equal(arrays_a[key], arrays_b[key]), key
+    assert leaves_a == leaves_b
+
+
+@pytest.fixture
+def fitted(tmp_path):
+    """A fitted GEM, its checkpoint dir and the post-save baseline."""
+    gem = make_gem().fit(records(0))
+    directory = tmp_path / "ckpt"
+    kind, baseline = save_incremental(gem, directory, baseline=None)
+    assert kind == "full"
+    return gem, directory, baseline
+
+
+class TestDeltaSaves:
+    def test_observe_only_change_writes_a_delta(self, fitted):
+        gem, directory, baseline = fitted
+        for record in records(1, n=6):
+            gem.observe(record)
+        kind, baseline = save_incremental(gem, directory, baseline)
+        assert kind == "delta"
+        manifest = read_manifest(directory)
+        assert manifest["format_version"] == INCREMENTAL_VERSION
+        assert len(manifest["deltas"]) == 1
+        # The graph only grew: its edge arrays must travel as appends.
+        entry = manifest["deltas"][0]
+        assert any(key.startswith("embedder/graph/") for key in entry["append"])
+        assert_states_equal(gem, load_checkpoint(directory))
+
+    def test_chained_deltas_reconstruct_exactly(self, fitted):
+        gem, directory, baseline = fitted
+        for step in range(3):
+            for record in records(10 + step, n=4):
+                gem.observe(record)
+            kind, baseline = save_incremental(gem, directory, baseline)
+            assert kind == "delta"
+        assert len(read_manifest(directory)["deltas"]) == 3
+        assert_states_equal(gem, load_checkpoint(directory))
+
+    def test_full_save_compacts_the_chain(self, fitted):
+        gem, directory, baseline = fitted
+        for record in records(1, n=4):
+            gem.observe(record)
+        _, baseline = save_incremental(gem, directory, baseline)
+        assert list(directory.glob("delta-*.npz"))
+        save_checkpoint(gem, directory)
+        manifest = read_manifest(directory)
+        assert manifest["format_version"] == CHECKPOINT_VERSION
+        assert "deltas" not in manifest
+        assert not list(directory.glob("delta-*.npz"))
+        assert_states_equal(gem, load_checkpoint(directory))
+
+    def test_max_chain_forces_compaction(self, fitted):
+        gem, directory, baseline = fitted
+        kinds = []
+        for step in range(3):
+            for record in records(20 + step, n=3):
+                gem.observe(record)
+            kind, baseline = save_incremental(gem, directory, baseline,
+                                              max_chain=2)
+            kinds.append(kind)
+        assert kinds == ["delta", "delta", "full"]
+        assert "deltas" not in read_manifest(directory)
+
+    def test_wholesale_change_falls_back_to_full(self, fitted):
+        gem, directory, baseline = fitted
+        # A freshly fitted model shares no arrays with the baseline: the
+        # delta would be ~100% of the state, over any sane threshold.
+        gem.fit(records(42, n=30))
+        kind, _ = save_incremental(gem, directory, baseline, max_fraction=0.5)
+        assert kind == "full"
+        assert_states_equal(gem, load_checkpoint(directory))
+
+    def test_stale_baseline_falls_back_to_full(self, fitted):
+        gem, directory, baseline = fitted
+        # Another writer replaced the checkpoint: the baseline no longer
+        # matches the on-disk tip, so a delta would corrupt the chain.
+        save_checkpoint(make_gem().fit(records(9)), directory)
+        for record in records(1, n=3):
+            gem.observe(record)
+        kind, _ = save_incremental(gem, directory, baseline)
+        assert kind == "full"
+        assert_states_equal(gem, load_checkpoint(directory))
+
+    def test_load_with_baseline_resumes_the_chain(self, fitted):
+        gem, directory, baseline = fitted
+        for record in records(1, n=4):
+            gem.observe(record)
+        save_incremental(gem, directory, baseline)
+        clone, manifest, resumed = load_checkpoint_with_baseline(directory)
+        assert manifest["format_version"] == INCREMENTAL_VERSION
+        assert resumed.chain_length == 1
+        assert_states_equal(gem, clone)
+        # The resumed baseline diffs cleanly: another observation on the
+        # clone writes delta #2, and the chain still reconstructs.
+        for record in records(2, n=4):
+            clone.observe(record)
+        kind, _ = save_incremental(clone, directory, resumed)
+        assert kind == "delta"
+        assert len(read_manifest(directory)["deltas"]) == 2
+        assert_states_equal(clone, load_checkpoint(directory))
+
+    def test_baseline_is_isolated_from_live_mutation(self, fitted):
+        """In-place detector updates must not leak into the baseline.
+
+        The histogram detector mutates its arrays in place; if the
+        baseline aliased them the diff would see "no change" and the
+        update would be silently lost.
+        """
+        gem, directory, baseline = fitted
+        applied = 0
+        for record in records(0, n=25):  # training-like records: inliers
+            decision = gem.observe(record)
+            applied += decision.updated
+        assert applied > 0, "test needs at least one applied detector update"
+        kind, _ = save_incremental(gem, directory, baseline)
+        assert kind == "delta"
+        assert_states_equal(gem, load_checkpoint(directory))
+
+    def test_v2_checkpoint_loads_unchanged(self, tmp_path):
+        gem = make_gem().fit(records(0))
+        directory = tmp_path / "plain"
+        save_checkpoint(gem, directory)
+        assert read_manifest(directory)["format_version"] == CHECKPOINT_VERSION
+        model, manifest, baseline = load_checkpoint_with_baseline(directory)
+        assert baseline.chain_length == 0
+        assert_states_equal(gem, model)
+
+
+class TestDeltaCrashSafety:
+    def _delta_checkpoint(self, tmp_path):
+        gem = make_gem().fit(records(0))
+        directory = tmp_path / "ckpt"
+        _, baseline = save_incremental(gem, directory, baseline=None)
+        for record in records(1, n=5):
+            gem.observe(record)
+        _, baseline = save_incremental(gem, directory, baseline)
+        return gem, directory, baseline
+
+    def test_orphan_delta_file_is_ignored(self, tmp_path):
+        """Crash between delta-file write and manifest commit: the torn
+        tail is an orphan file the loader never reads."""
+        gem, directory, baseline = self._delta_checkpoint(tmp_path)
+        before, _ = load_state(directory)
+        (directory / "delta-deadbeef.npz").write_bytes(b"not even a zip")
+        after, _ = load_state(directory)
+        arrays_a, leaves_a = flatten_state(before)
+        arrays_b, leaves_b = flatten_state(after)
+        assert leaves_a == leaves_b
+        assert all(np.array_equal(arrays_a[k], arrays_b[k]) for k in arrays_a)
+        # The next full save garbage-collects the orphan.
+        save_checkpoint(gem, directory)
+        assert not list(directory.glob("delta-*.npz"))
+
+    def test_truncated_committed_delta_is_torn(self, tmp_path):
+        gem, directory, baseline = self._delta_checkpoint(tmp_path)
+        manifest = read_manifest(directory)
+        delta_file = directory / manifest["deltas"][-1]["file"]
+        delta_file.write_bytes(delta_file.read_bytes()[:40])
+        with pytest.raises(CheckpointError, match="corrupt delta"):
+            load_checkpoint(directory)
+
+    def test_spliced_delta_nonce_mismatch_is_torn(self, tmp_path):
+        gem, directory, baseline = self._delta_checkpoint(tmp_path)
+        for record in records(2, n=5):
+            gem.observe(record)
+        save_incremental(gem, directory, baseline)
+        manifest = read_manifest(directory)
+        first, second = manifest["deltas"]
+        # Splice: point the first entry at the second delta's file.
+        first["file"] = second["file"]
+        (directory / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(CheckpointError, match="torn|different writes"):
+            load_checkpoint(directory)
+
+    def test_broken_parent_chain_is_torn(self, tmp_path):
+        gem, directory, baseline = self._delta_checkpoint(tmp_path)
+        manifest = read_manifest(directory)
+        manifest["deltas"][0]["parent"] = "0" * 32
+        (directory / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(CheckpointError, match="chains off"):
+            load_checkpoint(directory)
+
+    def test_delta_chain_without_version_bump_is_torn(self, tmp_path):
+        gem, directory, baseline = self._delta_checkpoint(tmp_path)
+        manifest = read_manifest(directory)
+        manifest["format_version"] = CHECKPOINT_VERSION
+        (directory / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(CheckpointError, match="delta chain"):
+            load_checkpoint(directory)
+
+    def test_dtype_mismatched_append_tail_is_torn(self, tmp_path):
+        """The writer never appends across dtypes, so a delta tail whose
+        dtype disagrees with the base array proves corruption — it must
+        raise, not silently promote the reconstructed array."""
+        gem, directory, baseline = self._delta_checkpoint(tmp_path)
+        manifest = read_manifest(directory)
+        entry = manifest["deltas"][-1]
+        appended = [k for k in entry["append"]]
+        assert appended, "test needs at least one append op"
+        delta_file = directory / entry["file"]
+        with np.load(delta_file) as archive:
+            stored = {key: archive[key] for key in archive.files}
+        stored[appended[0]] = stored[appended[0]].astype(np.float32)
+        with delta_file.open("wb") as handle:
+            np.savez(handle, **stored)
+        with pytest.raises(CheckpointError, match="torn"):
+            load_checkpoint(directory)
+
+    def test_missing_committed_delta_file_is_torn(self, tmp_path):
+        gem, directory, baseline = self._delta_checkpoint(tmp_path)
+        manifest = read_manifest(directory)
+        (directory / manifest["deltas"][-1]["file"]).unlink()
+        with pytest.raises(CheckpointError, match="missing committed"):
+            load_checkpoint(directory)
+
+
+class TestIncrementalFleet:
+    def test_writebacks_are_deltas_and_reloads_resume_exactly(self, tmp_path):
+        registry = ModelRegistry(tmp_path / "models")
+        plain = GeofenceFleet(tmp_path / "plain", capacity=1,
+                              model_factory=make_gem, reservoir_size=8)
+        fleet = GeofenceFleet(registry, capacity=1, model_factory=make_gem,
+                              reservoir_size=8, incremental=True)
+        train = records(0)
+        stream = records(5, n=30)
+        plain.provision("t", train)
+        fleet.provision("t", train)
+        decisions_plain, decisions_inc = [], []
+        for index, record in enumerate(stream):
+            if index % 7 == 3:  # repeated evict/reload across the chain
+                plain.evict("t")
+                fleet.evict("t")
+            decisions_plain.append(plain.observe("t", record))
+            decisions_inc.append(fleet.observe("t", record))
+        assert decisions_inc == decisions_plain
+        fleet.close()
+        plain.close()
+        totals = fleet.telemetry.totals()
+        assert totals.delta_saves > 0
+        # Bit-identical reconstructed state vs the full-save fleet.
+        state_inc, _ = load_state(registry.path_for("t"))
+        state_plain, _ = load_state(tmp_path / "plain" / "t")
+        arrays_a, leaves_a = flatten_state(state_inc)
+        arrays_b, leaves_b = flatten_state(state_plain)
+        assert set(arrays_a) == set(arrays_b)
+        assert all(np.array_equal(arrays_a[k], arrays_b[k]) for k in arrays_a)
+        assert leaves_a == leaves_b
+
+    def test_metadata_and_reservoir_travel_with_deltas(self, tmp_path):
+        fleet = GeofenceFleet(tmp_path / "m", capacity=1, model_factory=make_gem,
+                              reservoir_size=8, incremental=True)
+        fleet.provision("t", records(0), metadata={"home": "lab"})
+        for record in records(1, n=6):
+            fleet.observe("t", record)
+        fleet.evict("t")
+        assert fleet.registry.metadata("t") == {"home": "lab"}
+        reservoir = fleet.reservoir("t")  # reloads from the delta'd manifest
+        assert reservoir, "anchor must survive the delta write-back"
+        fleet.close()
+
+    def test_reprovision_compacts_to_full_save(self, tmp_path):
+        fleet = GeofenceFleet(tmp_path / "m", capacity=1, model_factory=make_gem,
+                              reservoir_size=32, incremental=True)
+        fleet.provision("t", records(0))
+        for record in records(0, n=10):
+            fleet.observe("t", record)
+        fleet.evict("t")
+        assert read_manifest(fleet.registry.path_for("t")).get("deltas")
+        fleet.reprovision("t")
+        fleet.evict("t")
+        manifest = read_manifest(fleet.registry.path_for("t"))
+        assert manifest["format_version"] == CHECKPOINT_VERSION
+        assert "deltas" not in manifest
+        fleet.close()
+
+    def test_telemetry_counts_full_and_delta_saves(self, tmp_path):
+        fleet = GeofenceFleet(tmp_path / "m", capacity=1, model_factory=make_gem,
+                              reservoir_size=8, incremental=True,
+                              max_delta_chain=2)
+        fleet.provision("t", records(0))
+        for step in range(4):
+            for record in records(step + 1, n=3):
+                fleet.observe("t", record)
+            fleet.evict("t")
+        totals = fleet.telemetry.totals()
+        # provision (full) + chain-capped compactions + deltas = 5 writes
+        assert totals.delta_saves >= 2
+        assert totals.saves >= 2
+        assert totals.saves + totals.delta_saves == 5
+        fleet.close()

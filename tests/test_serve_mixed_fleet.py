@@ -144,10 +144,11 @@ class TestFormatMigration:
             load_checkpoint(directory)
 
     def test_future_version_rejected(self, tmp_path):
+        from repro.serve.checkpoint import SUPPORTED_VERSIONS
         _, directory = self.make_v1_checkpoint(tmp_path)
         manifest_path = directory / MANIFEST_NAME
         manifest = json.loads(manifest_path.read_text())
-        manifest["format_version"] = CHECKPOINT_VERSION + 1
+        manifest["format_version"] = max(SUPPORTED_VERSIONS) + 1
         manifest_path.write_text(json.dumps(manifest))
         with pytest.raises(CheckpointError, match="version"):
             load_checkpoint(directory)

@@ -1,0 +1,282 @@
+"""ServingRuntime: sharding, bit-identity, scheduler-driven maintenance."""
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import synthetic_records
+from repro.core import GEM, GEMConfig
+from repro.embedding.bisage import BiSAGEConfig
+from repro.serve import (GeofenceFleet, MaintenancePolicy, MaintenanceScheduler,
+                         ServingRuntime, shard_index)
+from repro.serve.checkpoint import flatten_state, load_state
+
+FAST_CONFIG = GEMConfig(bisage=BiSAGEConfig(dim=8, epochs=1, seed=0))
+
+
+def make_gem() -> GEM:
+    return GEM(FAST_CONFIG)
+
+
+def tenant_records(tenant: int, n: int = 25, seed_offset: int = 0):
+    return synthetic_records(n, num_macs=10, seed=tenant + seed_offset,
+                             center=2.0 + tenant)
+
+
+TENANTS = [f"tenant-{i}" for i in range(5)]
+
+
+def provision_all(target) -> None:
+    for index, tenant in enumerate(TENANTS):
+        target.provision(tenant, tenant_records(index))
+
+
+def interleaved_stream(n: int = 60):
+    mixed = synthetic_records(n, num_macs=10, seed=321)
+    return [(TENANTS[i % len(TENANTS)], record) for i, record in enumerate(mixed)]
+
+
+class TestRouting:
+    def test_partition_is_stable_and_total(self):
+        for tenant in TENANTS:
+            index = shard_index(tenant, 4)
+            assert 0 <= index < 4
+            assert shard_index(tenant, 4) == index  # no per-process salt
+
+    def test_single_shard_routes_everything_to_shard_zero(self, tmp_path):
+        runtime = ServingRuntime(tmp_path / "m", num_shards=1,
+                                 scheduler_interval=None)
+        assert all(runtime.shard_for(t) is runtime.shards[0] for t in TENANTS)
+        runtime.close()
+
+    def test_tenants_land_on_their_hash_shard(self, tmp_path):
+        with ServingRuntime(tmp_path / "m", num_shards=3, capacity=8,
+                            model_factory=make_gem,
+                            scheduler_interval=None) as runtime:
+            provision_all(runtime)
+            for index, tenant in enumerate(TENANTS):
+                shard = runtime.shards[shard_index(tenant, 3)]
+                assert tenant in shard.resident_tenants
+
+    def test_bad_shard_count_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="num_shards"):
+            ServingRuntime(tmp_path / "m", num_shards=0)
+
+
+class TestSerialBitIdentity:
+    """The determinism contract: single-shard serial == bare fleet."""
+
+    def test_decisions_and_checkpoints_match_plain_fleet(self, tmp_path):
+        fleet = GeofenceFleet(tmp_path / "fleet", capacity=2,
+                              model_factory=make_gem)
+        runtime = ServingRuntime(tmp_path / "runtime", num_shards=1, capacity=2,
+                                 model_factory=make_gem, incremental=False,
+                                 scheduler_interval=None)
+        provision_all(fleet)
+        provision_all(runtime)
+        stream = interleaved_stream()
+        fleet_decisions = [fleet.observe(t, r) for t, r in stream]
+        runtime_decisions = [runtime.observe(t, r) for t, r in stream]
+        assert runtime_decisions == fleet_decisions
+        fleet.close()
+        runtime.close()
+        for tenant in TENANTS:
+            state_a, _ = load_state(tmp_path / "fleet" / tenant)
+            state_b, _ = load_state(tmp_path / "runtime" / tenant)
+            arrays_a, leaves_a = flatten_state(state_a)
+            arrays_b, leaves_b = flatten_state(state_b)
+            assert set(arrays_a) == set(arrays_b)
+            assert all(np.array_equal(arrays_a[k], arrays_b[k]) for k in arrays_a)
+            assert leaves_a == leaves_b
+
+    def test_incremental_layout_reconstructs_identical_state(self, tmp_path):
+        plain = ServingRuntime(tmp_path / "plain", num_shards=1, capacity=2,
+                               model_factory=make_gem, incremental=False,
+                               scheduler_interval=None)
+        delta = ServingRuntime(tmp_path / "delta", num_shards=1, capacity=2,
+                               model_factory=make_gem, incremental=True,
+                               scheduler_interval=None)
+        provision_all(plain)
+        provision_all(delta)
+        for tenant, record in interleaved_stream():
+            assert plain.observe(tenant, record) == delta.observe(tenant, record)
+        plain.close()
+        delta.close()
+        for tenant in TENANTS:
+            state_a, _ = load_state(tmp_path / "plain" / tenant)
+            state_b, _ = load_state(tmp_path / "delta" / tenant)
+            arrays_a, _ = flatten_state(state_a)
+            arrays_b, _ = flatten_state(state_b)
+            assert all(np.array_equal(arrays_a[k], arrays_b[k]) for k in arrays_a)
+
+    def test_observe_many_matches_fleet_batching(self, tmp_path):
+        fleet = GeofenceFleet(tmp_path / "fleet", capacity=2,
+                              model_factory=make_gem)
+        runtime = ServingRuntime(tmp_path / "runtime", num_shards=1, capacity=2,
+                                 model_factory=make_gem, incremental=False,
+                                 scheduler_interval=None)
+        provision_all(fleet)
+        provision_all(runtime)
+        batch = interleaved_stream(30)
+        assert runtime.observe_many(batch) == fleet.observe_many(batch)
+        fleet.close()
+        runtime.close()
+
+
+class TestShardedServing:
+    def test_observe_many_reassembles_input_order(self, tmp_path):
+        serial = ServingRuntime(tmp_path / "serial", num_shards=1, capacity=8,
+                                model_factory=make_gem, scheduler_interval=None)
+        sharded = ServingRuntime(tmp_path / "sharded", num_shards=3, capacity=8,
+                                 model_factory=make_gem, scheduler_interval=None)
+        provision_all(serial)
+        provision_all(sharded)
+        batch = interleaved_stream(40)
+        assert sharded.observe_many(batch) == serial.observe_many(batch)
+        serial.close()
+        sharded.close()
+
+    def test_telemetry_aggregates_across_shards(self, tmp_path):
+        with ServingRuntime(tmp_path / "m", num_shards=3, capacity=8,
+                            model_factory=make_gem,
+                            scheduler_interval=None) as runtime:
+            provision_all(runtime)
+            stream = interleaved_stream(45)
+            for tenant, record in stream:
+                runtime.observe(tenant, record)
+            totals = runtime.telemetry_totals()
+            assert totals.observations == len(stream)
+            snapshot = runtime.telemetry_snapshot()
+            assert sorted(snapshot["tenants"]) == sorted(TENANTS)
+            assert snapshot["totals"]["observations"] == len(stream)
+
+    def test_score_and_dirty_and_flush_route(self, tmp_path):
+        with ServingRuntime(tmp_path / "m", num_shards=2, capacity=8,
+                            model_factory=make_gem,
+                            scheduler_interval=None) as runtime:
+            provision_all(runtime)
+            record = tenant_records(0, n=1, seed_offset=7)[0]
+            assert np.isfinite(runtime.score(TENANTS[0], record)) \
+                or runtime.score(TENANTS[0], record) == float("inf")
+            runtime.observe(TENANTS[0], record)
+            assert runtime.is_dirty(TENANTS[0])
+            assert runtime.flush() >= 1
+            assert not runtime.is_dirty(TENANTS[0])
+            assert runtime.evict(TENANTS[0])
+            assert TENANTS[0] not in runtime.resident_tenants
+
+
+class TestMaintenance:
+    def test_serial_maintain_pumps_controller(self, tmp_path):
+        policy = MaintenancePolicy(check_every=5, refresh_every=10)
+        with ServingRuntime(tmp_path / "m", num_shards=2, capacity=8,
+                            model_factory=make_gem, policy=policy,
+                            scheduler_interval=None) as runtime:
+            provision_all(runtime)
+            for tenant, record in interleaved_stream(80):
+                runtime.observe(tenant, record)
+            pending = sum(s.pending_decisions for s in runtime.shards)
+            assert pending == 80
+            drained = runtime.maintain()
+            assert drained == 80
+            assert any(action == "refresh"
+                       for _, action in runtime.maintenance_actions())
+            assert runtime.telemetry_totals().refreshes > 0
+
+    def test_background_scheduler_refreshes_off_the_observe_path(self, tmp_path):
+        policy = MaintenancePolicy(check_every=5, refresh_every=10)
+        with ServingRuntime(tmp_path / "m", num_shards=2, capacity=8,
+                            model_factory=make_gem, policy=policy,
+                            scheduler_interval=0.01) as runtime:
+            provision_all(runtime)
+            for tenant, record in interleaved_stream(80):
+                runtime.observe(tenant, record)
+            deadline = time.monotonic() + 10.0
+            while (runtime.telemetry_totals().refreshes == 0
+                   and time.monotonic() < deadline):
+                time.sleep(0.02)
+            assert runtime.telemetry_totals().refreshes > 0
+            assert runtime.scheduler.running
+        # close() stopped the worker and drained the queues.
+        assert not runtime.scheduler.running
+        assert all(shard.pending_decisions == 0 for shard in runtime.shards)
+        stats = runtime.scheduler.stats()
+        assert stats["decisions_drained"] == 80
+        assert stats["errors"] == 0
+
+    def test_maintain_refuses_to_race_the_scheduler(self, tmp_path):
+        with ServingRuntime(tmp_path / "m", num_shards=1,
+                            model_factory=make_gem,
+                            policy=MaintenancePolicy(check_every=4),
+                            scheduler_interval=0.05) as runtime:
+            with pytest.raises(RuntimeError, match="race"):
+                runtime.maintain()
+
+    def test_noop_runtime_does_not_accumulate_decisions(self, tmp_path):
+        with ServingRuntime(tmp_path / "m", num_shards=1, capacity=8,
+                            model_factory=make_gem,
+                            scheduler_interval=None) as runtime:
+            provision_all(runtime)
+            for tenant, record in interleaved_stream(30):
+                runtime.observe(tenant, record)
+            # No policy, no scheduler: tracking is off, nothing queues.
+            assert all(shard.pending_decisions == 0 for shard in runtime.shards)
+
+    def test_unstarted_background_runtime_does_not_queue(self, tmp_path):
+        """Constructing a daemon without start()ing it must not leak
+        decisions into queues nothing will ever pump; start() arms the
+        bus (spec-block policies need it even without a default policy)."""
+        runtime = ServingRuntime(tmp_path / "m", num_shards=1, capacity=8,
+                                 model_factory=make_gem,
+                                 scheduler_interval=0.05)
+        provision_all(runtime)
+        for tenant, record in interleaved_stream(20):
+            runtime.observe(tenant, record)
+        assert all(shard.pending_decisions == 0 for shard in runtime.shards)
+        assert not any(shard.track_decisions for shard in runtime.shards)
+        runtime.start()
+        assert all(shard.track_decisions for shard in runtime.shards)
+        runtime.close()
+
+
+class TestScheduler:
+    def test_start_stop_idempotent_and_stats(self, tmp_path):
+        runtime = ServingRuntime(tmp_path / "m", num_shards=1,
+                                 model_factory=make_gem,
+                                 policy=MaintenancePolicy(check_every=4),
+                                 scheduler_interval=0.01)
+        scheduler = runtime.scheduler
+        assert isinstance(scheduler, MaintenanceScheduler)
+        scheduler.start()
+        scheduler.start()  # idempotent
+        assert scheduler.running
+        scheduler.stop()
+        assert not scheduler.running
+        stats = scheduler.stats()
+        assert stats["ticks"] >= 1
+        runtime.close()
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError, match="interval"):
+            MaintenanceScheduler([], interval=0.0)
+        with pytest.raises(ValueError, match="sweep_every"):
+            MaintenanceScheduler([], interval=0.1, sweep_every=-1)
+
+    def test_errors_are_contained_and_bounded(self, tmp_path):
+        class ExplodingShard:
+            index = 0
+            pending_decisions = 0
+
+            def pump(self):
+                raise RuntimeError("boom")
+
+            def sweep(self):  # pragma: no cover - pump already raised
+                return {}
+
+        scheduler = MaintenanceScheduler([ExplodingShard()], interval=0.01)
+        for _ in range(3):
+            scheduler.tick()
+        assert len(scheduler.errors) == 3
+        assert "boom" in scheduler.errors[0][1]
+        assert scheduler.stats()["errors"] == 3
