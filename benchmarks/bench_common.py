@@ -13,12 +13,19 @@ from __future__ import annotations
 
 import functools
 import os
+import platform
+import sys
+import time
 from pathlib import Path
 
 from repro.datasets import generate_dataset, user_dataset
 from repro.eval import arm_accepts, evaluate_streaming, make_algorithm
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+# Version of the shared metadata block benchmarks embed in their JSON
+# payloads (``bench_metadata``); bump on incompatible shape changes.
+BENCH_META_SCHEMA = 1
 
 # REPRO_BENCH_FULL=1 runs the full 10-user / full-sweep versions.
 FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
@@ -45,6 +52,37 @@ def churn_shock_schedules(scenario, shock_epoch: int, fraction: float,
     return [APChurn(rate=churn, protect=protect), TxPowerDrift(),
             DeviceGainDrift(),
             ChurnShock(epoch=shock_epoch, fraction=fraction, protect=protect)]
+
+
+def bench_metadata(bench: str, args=None) -> dict:
+    """Shared metadata block for benchmark JSON payloads.
+
+    Every machine-readable result embeds the same ``meta`` shape —
+    schema version, which bench produced it with which arguments, and
+    enough host context to judge whether two recorded runs are
+    comparable at all (absolute numbers off a laptop and a CI box are
+    not).  ``args`` is an ``argparse.Namespace`` (or mapping) whose
+    values are recorded verbatim when JSON-representable.
+    """
+    if args is None:
+        arg_items = {}
+    else:
+        arg_items = dict(args) if isinstance(args, dict) else vars(args)
+    recorded = {key: value for key, value in sorted(arg_items.items())
+                if isinstance(value, (bool, int, float, str)) or value is None}
+    return {
+        "schema_version": BENCH_META_SCHEMA,
+        "bench": bench,
+        "args": recorded,
+        "full": FULL,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "host": {
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+            "python": sys.version.split()[0],
+            "cpus": os.cpu_count(),
+        },
+    }
 
 
 def write_result(name: str, text: str) -> None:

@@ -52,8 +52,8 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from bench_common import (churn_shock_schedules, write_json_result,  # noqa: E402
-                          write_result)
+from bench_common import (bench_metadata, churn_shock_schedules,  # noqa: E402
+                          write_json_result, write_result)
 
 from repro.core.config import GEMConfig  # noqa: E402
 from repro.embedding.bisage import BiSAGEConfig  # noqa: E402
@@ -351,6 +351,7 @@ def run_worst_case_arm(args) -> dict:
 def main(argv=None) -> int:
     args = parse_args(argv)
     payload = run_fleet_arm(args)
+    payload["meta"] = bench_metadata("fleet_drift", args)
     if not args.skip_arms:
         payload["admission"] = run_admission_arm(args)
         payload["worst_case"] = run_worst_case_arm(args)

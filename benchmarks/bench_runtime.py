@@ -18,6 +18,13 @@ sharded daemon:
   inline refresh it would *equal* it.
 * **Write-back accounting** — full vs delta saves on a thrashing LRU,
   the compact companion to ``bench_fleet_drift``'s amplification run.
+* **Observability overhead** — identical observe workload with the
+  metrics/tracing layer on (the default) vs off.  The instrumented
+  throughput must stay within 5 % of the bare runtime's, which is the
+  contract that keeps ``observability=True`` defensible as a default;
+  the instrumented run also leaves its metrics snapshot at
+  ``benchmarks/results/runtime_metrics.jsonl`` for
+  ``python -m repro obs render``.
 
 Runs standalone; ``--quick`` is the CI smoke scale.
 """
@@ -36,7 +43,8 @@ import numpy as np
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from bench_common import write_json_result, write_result  # noqa: E402
+from bench_common import (RESULTS_DIR, bench_metadata,  # noqa: E402
+                          write_json_result, write_result)
 
 from repro.core.config import GEMConfig  # noqa: E402
 from repro.core.records import SignalRecord  # noqa: E402
@@ -209,12 +217,60 @@ def run_writeback_accounting(args) -> dict:
     return out
 
 
+# ----------------------------------------------------------------------
+# Arm 4: observability overhead on the observe path
+# ----------------------------------------------------------------------
+def run_observability_overhead(args) -> dict:
+    """Instrumented vs bare observe throughput, best-of-repeats.
+
+    Best-of damps scheduler noise on shared CI boxes: the fastest
+    repeat of each arm is the closest to the workload's true cost, and
+    the comparison is between two best cases measured interleaved.
+    """
+    repeats = 3
+    n_obs = 400 if args.quick else 2000
+    train = make_records(40, 12, seed=7)
+    stream = make_records(500, 12, seed=8)
+
+    def one_run(observability: bool, dump_to: Path | None = None) -> float:
+        with tempfile.TemporaryDirectory() as root:
+            with ServingRuntime(root, num_shards=1, capacity=4,
+                                scheduler_interval=None,
+                                observability=observability) as runtime:
+                runtime.provision("overhead", train, spec=spec())
+                t0 = time.perf_counter()
+                for i in range(n_obs):
+                    runtime.observe("overhead", stream[i % 500])
+                elapsed = time.perf_counter() - t0
+                if dump_to is not None:
+                    from repro.obs import MetricsDumper
+                    MetricsDumper(runtime.metrics, dump_to).dump_now()
+        return n_obs / elapsed
+
+    metrics_path = RESULTS_DIR / "runtime_metrics.jsonl"
+    RESULTS_DIR.mkdir(exist_ok=True)
+    metrics_path.unlink(missing_ok=True)
+    bare, instrumented = 0.0, 0.0
+    for repeat in range(repeats):
+        bare = max(bare, one_run(False))
+        instrumented = max(instrumented, one_run(
+            True, dump_to=metrics_path if repeat == repeats - 1 else None))
+    overhead_pct = max(0.0, 100.0 * (bare - instrumented) / bare)
+    return {"observations_per_run": n_obs,
+            "bare_obs_per_s": bare,
+            "instrumented_obs_per_s": instrumented,
+            "overhead_pct": overhead_pct,
+            "metrics_jsonl": str(metrics_path)}
+
+
 def main(argv=None) -> int:
     args = parse_args(argv)
     payload = {
+        "meta": bench_metadata("runtime", args),
         "shard_scaling": run_shard_scaling(args),
         "latency": run_latency_under_refresh(args),
         "writeback": run_writeback_accounting(args),
+        "observability": run_observability_overhead(args),
         "quick": args.quick,
     }
     scaling = payload["shard_scaling"]
@@ -231,6 +287,12 @@ def main(argv=None) -> int:
                  f"{payload['writeback']['full_saves']['full_saves_per_tenant']:.1f}"])
     rows.append(["full saves/tenant (incremental)",
                  f"{payload['writeback']['incremental']['full_saves_per_tenant']:.1f}"])
+    obs = payload["observability"]
+    rows.append(["observe throughput (bare)",
+                 f"{obs['bare_obs_per_s']:.0f} obs/s"])
+    rows.append(["observe throughput (instrumented)",
+                 f"{obs['instrumented_obs_per_s']:.0f} obs/s"])
+    rows.append(["observability overhead", f"{obs['overhead_pct']:.1f} %"])
     write_result("runtime", format_table(["metric", "value"], rows,
                                          title="ServingRuntime benchmark"))
     write_json_result("runtime", payload)
@@ -252,6 +314,10 @@ def main(argv=None) -> int:
     full = payload["writeback"]["full_saves"]
     assert inc["streaming_delta_saves"] > 0
     assert inc["streaming_full_saves"] < full["streaming_full_saves"]
+    # The observability default must stay near-free on the hot path.
+    assert obs["overhead_pct"] < 5.0, \
+        f"observability overhead {obs['overhead_pct']:.1f}% >= 5% budget: {obs}"
+    assert Path(obs["metrics_jsonl"]).is_file()
     return 0
 
 

@@ -25,6 +25,11 @@ Subcommands
     worker executing the given :class:`MaintenancePolicy` (coordinated
     refresh, escalation, flush, idle eviction) off the observe path,
     and incremental (delta) checkpoint write-backs.
+``obs render``
+    Pretty-print a metrics snapshot (the JSONL trail ``runtime
+    --metrics-out`` appends, or any ``runtime.metrics()`` JSON) as
+    latency/counter/health tables, Prometheus text exposition, or
+    canonical JSON.
 ``maintain``
     Control-plane maintenance over a checkpoint registry: coordinated
     refresh (embedding-cache rebuild + detector refit on each tenant's
@@ -144,7 +149,31 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="run controller sweeps every N ticks")
     p.add_argument("--no-incremental", action="store_true",
                    help="write full checkpoints instead of deltas")
+    p.add_argument("--metrics-out", metavar="PATH",
+                   help="append periodic runtime metrics snapshots (JSONL) "
+                        "to this file while serving; render them afterwards "
+                        "with `python -m repro obs render PATH`")
+    p.add_argument("--metrics-interval", type=float, default=5.0, metavar="S",
+                   help="seconds between metrics snapshots (with --metrics-out; "
+                        "default 5)")
     p.add_argument("-o", "--out", help="write decisions to this file instead of stdout")
+
+    p = sub.add_parser("obs", help="observability utilities (metrics snapshots)")
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    r = obs_sub.add_parser("render",
+                           help="render a metrics snapshot (JSON, or JSONL as "
+                                "written by --metrics-out) as a summary table "
+                                "or Prometheus text exposition")
+    r.add_argument("path", help="metrics snapshot file: a JSON object, or "
+                                "JSONL where the last line wins (see --line)")
+    r.add_argument("--format", choices=["summary", "prometheus", "json"],
+                   default="summary",
+                   help="summary: latency/counter/health tables (default); "
+                        "prometheus: text exposition; json: canonical JSON")
+    r.add_argument("--line", type=int, default=0, metavar="N",
+                   help="1-based JSONL line to render; 0 or negative index "
+                        "from the end (default: last line)")
+    r.add_argument("-o", "--out", help="write to this file instead of stdout")
 
     p = sub.add_parser("maintain",
                        help="coordinated refresh / re-provision of registry tenants")
@@ -480,11 +509,24 @@ def _cmd_runtime(args) -> int:
                                  incremental=not args.no_incremental,
                                  scheduler_interval=interval,
                                  sweep_every=args.sweep_every)
+        dumper = None
+        if args.metrics_out:
+            from repro.obs import MetricsDumper
+            dumper = MetricsDumper(runtime.metrics, args.metrics_out,
+                                   interval=args.metrics_interval)
         with runtime:
-            served = _replay_events(runtime.observe, events_path, out_handle)
-            if runtime.scheduler is None:
-                # Serial mode: run the maintenance the daemon would have.
-                runtime.maintain()
+            if dumper is not None:
+                dumper.start()
+            try:
+                served = _replay_events(runtime.observe, events_path, out_handle)
+                if runtime.scheduler is None:
+                    # Serial mode: run the maintenance the daemon would have.
+                    runtime.maintain()
+            finally:
+                if dumper is not None:
+                    # Stop inside the runtime context: the final snapshot
+                    # reads live shards, then close() can tear them down.
+                    dumper.stop()
         # Report after close(): the final drain and flush write-backs
         # have happened, so the counters describe the whole replay.
         stats = runtime.stats()
@@ -501,9 +543,113 @@ def _cmd_runtime(args) -> int:
             print(f"scheduler: {sched['ticks']} tick(s), "
                   f"{sched['decisions_drained']} decision(s) drained, "
                   f"{sched['errors']} error(s)", file=sys.stderr)
+        if args.metrics_out:
+            print(f"metrics snapshots appended to {args.metrics_out}",
+                  file=sys.stderr)
     finally:
         if args.out:
             out_handle.close()
+    return 0
+
+
+def _load_metrics_snapshot(path: Path, line: int) -> dict:
+    """One metrics snapshot from a JSON or JSONL file.
+
+    ``line`` is 1-based; 0 or negative indexes from the end (0 = last),
+    matching how --metrics-out appends snapshots over time.
+    """
+    lines = [text for text in path.read_text().splitlines() if text.strip()]
+    if not lines:
+        raise ValueError(f"{path}: no metrics snapshots (empty file)")
+    index = line - 1 if line > 0 else len(lines) - 1 + line
+    if not 0 <= index < len(lines):
+        raise ValueError(f"{path}: --line {line} out of range "
+                         f"(file has {len(lines)} snapshot(s))")
+    try:
+        snapshot = json.loads(lines[index])
+    except json.JSONDecodeError as error:
+        raise ValueError(f"{path}: snapshot {index + 1} is not JSON: {error}") \
+            from error
+    if not isinstance(snapshot, dict):
+        raise ValueError(f"{path}: snapshot {index + 1} is not a JSON object")
+    return snapshot
+
+
+def _summarise_metrics(snapshot: dict) -> str:
+    from repro.eval.reporting import format_table
+    from repro.obs import histogram_percentiles
+    families = snapshot.get("families", snapshot)
+    sections = []
+    latency_rows, counter_rows = [], []
+    for name in sorted(families):
+        entry = families[name]
+        if not isinstance(entry, dict) or "type" not in entry:
+            continue
+        for series in entry.get("series", ()):
+            label_text = ",".join(f"{k}={v}" for k, v in
+                                  sorted(series.get("labels", {}).items()))
+            if entry["type"] == "histogram":
+                p = histogram_percentiles(series)
+                latency_rows.append([
+                    name, label_text or "-", str(series["count"]),
+                    *(("--" if p[q] is None else f"{p[q] * 1e3:.2f}")
+                      for q in ("p50", "p90", "p99"))])
+            else:
+                value = series["value"]
+                text = f"{value:.6g}" if isinstance(value, float) else str(value)
+                counter_rows.append([name, entry["type"], label_text or "-", text])
+    if latency_rows:
+        sections.append(format_table(
+            ["histogram", "labels", "count", "p50 ms", "p90 ms", "p99 ms"],
+            latency_rows, title="Latency histograms"))
+    if counter_rows:
+        sections.append(format_table(["metric", "type", "labels", "value"],
+                                     counter_rows, title="Counters and gauges"))
+    health = snapshot.get("health")
+    if isinstance(health, dict) and health:
+        rows = [[name, probe.get("status", "?"), f"{probe.get('value', 0):.6g}",
+                 f"{probe.get('warn_at', 0):.6g}",
+                 f"{probe.get('critical_at', 0):.6g}",
+                 str(probe.get("detail", ""))[:44] or "-"]
+                for name, probe in sorted(health.items())]
+        sections.append(format_table(
+            ["probe", "status", "value", "warn", "critical", "detail"],
+            rows, title="Health probes"))
+    traces = snapshot.get("traces")
+    if isinstance(traces, dict) and traces.get("slow_traces"):
+        rows = [[trace.get("name", "?"),
+                 f"{(trace.get('seconds') or 0.0) * 1e3:.2f}",
+                 str(len(trace.get("children", ()))),
+                 ",".join(f"{k}={v}" for k, v in
+                          sorted(trace.get("attrs", {}).items()))[:44] or "-"]
+                for trace in traces["slow_traces"]]
+        sections.append(format_table(
+            ["span", "ms", "children", "attrs"], rows,
+            title=f"Slow traces (threshold "
+                  f"{traces.get('slow_threshold', 0.0):.3g}s)"))
+    if not sections:
+        return "(snapshot holds no metric families)"
+    return "\n\n".join(sections)
+
+
+def _cmd_obs(args) -> int:
+    from repro.obs import render_prometheus, snapshot_to_json
+    path = Path(args.path)
+    if not path.is_file():
+        print(f"error: no such metrics file: {path}", file=sys.stderr)
+        return 2
+    snapshot = _load_metrics_snapshot(path, args.line)
+    if args.format == "prometheus":
+        text = render_prometheus(snapshot)
+    elif args.format == "json":
+        text = snapshot_to_json(snapshot) + "\n"
+    else:
+        text = _summarise_metrics(snapshot) + "\n"
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"wrote {args.out}")
+    else:
+        sys.stdout.write(text)
     return 0
 
 
@@ -585,6 +731,7 @@ _COMMANDS = {
     "serve-daemon": _cmd_runtime,
     "maintain": _cmd_maintain,
     "drift": _cmd_drift,
+    "obs": _cmd_obs,
 }
 
 

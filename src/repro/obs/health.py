@@ -1,0 +1,177 @@
+"""Health probes: measured failure modes as first-class signals.
+
+Each probe turns a failure mode this repo has already *measured* into a
+number with warn/critical thresholds, so an operator watches gauges
+instead of rediscovering the postmortems:
+
+* ``stuck_refresh`` — consecutive failed refresh/reprovision attempts
+  (max across tenants).  A rising streak is the precursor the ROADMAP's
+  quarantine item needs: the policy keeps asking, the reservoir keeps
+  failing to produce a usable refit.
+* ``reservoir_starvation`` — observations since the last *inside*
+  decision, fleet-wide.  ``BENCH_fleet_drift.json``'s worst-case arm
+  showed that above ~45 % ambient-AP replacement every decision goes
+  outside, the inlier reservoir stops filling, and nothing
+  reservoir-fed can recover; this probe fires while AUC still looks
+  merely bad, not yet flat.
+* ``scheduler_staleness`` — seconds since the maintenance worker last
+  pumped each shard (max across shards).  A wedged or fallen-behind
+  scheduler means refresh storms queue invisibly; in serial mode the
+  probe reports ok (the caller *is* the scheduler).
+* ``decision_bus_depth`` — pending decisions on the busiest shard's
+  bus.  Nothing bounds the bus if maintenance falls behind; depth is
+  the backpressure signal a router should shed on.
+
+:class:`HealthMonitor` evaluates all four against a runtime and mirrors
+each probe into two gauges (``repro_health_value`` /
+``repro_health_status``; status 0=ok, 1=warn, 2=critical) so the same
+thresholds drive the Prometheus alert and the JSON snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["HealthMonitor", "ProbeResult", "STATUS_LEVELS"]
+
+STATUS_LEVELS = {"ok": 0, "warn": 1, "critical": 2}
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """Outcome of one probe evaluation."""
+
+    probe: str
+    value: float
+    status: str              # "ok" | "warn" | "critical"
+    warn_at: float
+    critical_at: float
+    detail: str = ""
+
+    @property
+    def level(self) -> int:
+        return STATUS_LEVELS[self.status]
+
+    def as_dict(self) -> dict:
+        return {"probe": self.probe, "value": self.value, "status": self.status,
+                "warn_at": self.warn_at, "critical_at": self.critical_at,
+                "detail": self.detail}
+
+
+def _grade(value: float, warn_at: float, critical_at: float) -> str:
+    if value >= critical_at:
+        return "critical"
+    if value >= warn_at:
+        return "warn"
+    return "ok"
+
+
+class HealthMonitor:
+    """Evaluates the four serving probes against a runtime.
+
+    Parameters are (warn, critical) thresholds per probe;
+    ``starvation_window`` is the warn threshold in observations (the
+    critical threshold is twice it).  ``metrics`` is an optional
+    :class:`~repro.obs.metrics.MetricsRegistry` to mirror results into.
+    """
+
+    def __init__(self, metrics=None,
+                 stuck_refresh: tuple[int, int] = (2, 4),
+                 starvation_window: int = 200,
+                 scheduler_staleness: tuple[float, float] = (5.0, 30.0),
+                 bus_depth: tuple[int, int] = (1_000, 10_000)):
+        self.thresholds = {
+            "stuck_refresh": (float(stuck_refresh[0]), float(stuck_refresh[1])),
+            "reservoir_starvation": (float(starvation_window),
+                                     float(2 * starvation_window)),
+            "scheduler_staleness": (float(scheduler_staleness[0]),
+                                    float(scheduler_staleness[1])),
+            "decision_bus_depth": (float(bus_depth[0]), float(bus_depth[1])),
+        }
+        self._metrics = metrics
+        if metrics is not None:
+            self._value_gauge = metrics.gauge(
+                "repro_health_value",
+                help="Raw value of each health probe", labels=("probe",))
+            self._status_gauge = metrics.gauge(
+                "repro_health_status",
+                help="Probe status: 0=ok 1=warn 2=critical", labels=("probe",))
+        # Starvation bookkeeping across checks: cumulative inside
+        # decisions seen, and the observation count when they last grew.
+        self._inside_seen = 0
+        self._obs_at_last_inside = 0
+
+    # ------------------------------------------------------------------
+    # Probe evaluation
+    # ------------------------------------------------------------------
+    def check(self, runtime) -> dict[str, ProbeResult]:
+        """Evaluate every probe; returns ``{probe name: result}``.
+
+        ``runtime`` is duck-typed (a :class:`ServingRuntime`): shards
+        with controllers and pending queues, optional scheduler,
+        ``telemetry_totals()``.
+        """
+        results = {
+            "stuck_refresh": self._check_stuck_refresh(runtime),
+            "reservoir_starvation": self._check_starvation(runtime),
+            "scheduler_staleness": self._check_staleness(runtime),
+            "decision_bus_depth": self._check_bus_depth(runtime),
+        }
+        if self._metrics is not None:
+            for name, result in results.items():
+                self._value_gauge.labels(probe=name).set(result.value)
+                self._status_gauge.labels(probe=name).set(result.level)
+        return results
+
+    def _result(self, probe: str, value: float, detail: str = "") -> ProbeResult:
+        warn_at, critical_at = self.thresholds[probe]
+        return ProbeResult(probe=probe, value=float(value),
+                           status=_grade(value, warn_at, critical_at),
+                           warn_at=warn_at, critical_at=critical_at,
+                           detail=detail)
+
+    def _check_stuck_refresh(self, runtime) -> ProbeResult:
+        worst, who = 0, ""
+        for shard in runtime.shards:
+            streaks = shard.controller.failed_refresh_streaks()
+            for tenant_id, streak in streaks.items():
+                if streak > worst:
+                    worst, who = streak, tenant_id
+        detail = f"tenant {who!r} has {worst} consecutive failed refreshes" \
+            if worst else ""
+        return self._result("stuck_refresh", worst, detail)
+
+    def _check_starvation(self, runtime) -> ProbeResult:
+        totals = runtime.telemetry_totals()
+        if totals.inside > self._inside_seen:
+            self._inside_seen = totals.inside
+            self._obs_at_last_inside = totals.observations
+        value = totals.observations - self._obs_at_last_inside
+        detail = (f"{value} observations since the last inside decision"
+                  if value else "")
+        return self._result("reservoir_starvation", value, detail)
+
+    def _check_staleness(self, runtime) -> ProbeResult:
+        scheduler = getattr(runtime, "scheduler", None)
+        if scheduler is None:
+            return self._result("scheduler_staleness", 0.0,
+                                "serial mode: caller pumps synchronously")
+        ages = scheduler.last_pump_ages()
+        if not ages:
+            if scheduler.running:
+                # Started but yet to complete a first pump: age since start.
+                value = scheduler.stats()["uptime_seconds"]
+                return self._result("scheduler_staleness", value,
+                                    "no pump completed yet")
+            return self._result("scheduler_staleness", 0.0, "scheduler not started")
+        worst_shard = max(ages, key=ages.get)
+        return self._result("scheduler_staleness", ages[worst_shard],
+                            f"shard {worst_shard} last pumped "
+                            f"{ages[worst_shard]:.2f}s ago")
+
+    def _check_bus_depth(self, runtime) -> ProbeResult:
+        depths = {shard.index: shard.pending_decisions for shard in runtime.shards}
+        worst_shard = max(depths, key=depths.get)
+        return self._result("decision_bus_depth", depths[worst_shard],
+                            f"shard {worst_shard} has {depths[worst_shard]} "
+                            "pending decisions")

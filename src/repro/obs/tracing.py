@@ -1,0 +1,136 @@
+"""Lightweight span tracing for the serving paths.
+
+``with tracer.span("observe", tenant=...)`` records one timed span;
+spans opened while another is active on the same thread nest under it,
+so an observe that triggers a write-back, or a refresh whose rebuild
+and commit phases are timed separately, yields one tree with the
+breakdown attached.  No ids, no propagation, no export protocol — the
+point is post-hoc inspection inside one process, at a cost low enough
+to leave on in production (two clock reads and a few attribute writes
+per span).
+
+Completed *root* spans update a per-name aggregate (count + seconds);
+roots slower than ``slow_threshold`` seconds additionally enter a
+bounded ring of recent slow traces, serialised as plain dicts — the
+first thing to read when a p99 regression appears in the histograms,
+because it answers *which phase* was slow, not just that something was.
+
+Thread model: the active-span stack is thread-local (concurrent
+observers never see each other's spans); the ring and aggregates are
+shared under one lock taken only at root completion, never per-span.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager, nullcontext
+
+__all__ = ["Span", "Tracer", "maybe_span"]
+
+# Shared no-op context for un-instrumented call sites: nullcontext is
+# stateless, so one instance serves every thread and nesting depth.
+_NULL_SPAN = nullcontext(None)
+
+
+def maybe_span(tracer: "Tracer | None", name: str, **attrs):
+    """``tracer.span(...)`` when tracing is on, a shared no-op otherwise."""
+    return _NULL_SPAN if tracer is None else tracer.span(name, **attrs)
+
+
+class Span:
+    """One timed operation; children are spans opened while it ran."""
+
+    __slots__ = ("name", "attrs", "started_at", "duration", "children")
+
+    def __init__(self, name: str, attrs: dict):
+        self.name = name
+        self.attrs = attrs
+        self.started_at = time.perf_counter()
+        self.duration: float | None = None
+        self.children: list["Span"] = []
+
+    def to_dict(self) -> dict:
+        out: dict = {"name": self.name, "seconds": self.duration}
+        if self.attrs:
+            out["attrs"] = {key: str(value) for key, value in sorted(self.attrs.items())}
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+
+class Tracer:
+    """Span recorder with per-name aggregates and a slow-trace ring.
+
+    Parameters
+    ----------
+    slow_threshold:
+        Root spans at least this many seconds long enter the ring.
+    ring_size:
+        Bound on retained slow traces (oldest evicted first).
+    """
+
+    def __init__(self, slow_threshold: float = 0.1, ring_size: int = 64):
+        if slow_threshold < 0:
+            raise ValueError(f"slow_threshold must be >= 0, got {slow_threshold}")
+        if ring_size < 1:
+            raise ValueError(f"ring_size must be >= 1, got {ring_size}")
+        self.slow_threshold = slow_threshold
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._ring: "deque[dict]" = deque(maxlen=ring_size)
+        self._aggregate: dict[str, list[float]] = {}   # name -> [count, seconds]
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        stack = self._stack()
+        span = Span(name, attrs)
+        stack.append(span)
+        try:
+            yield span
+        except BaseException as error:
+            span.attrs = dict(span.attrs, error=type(error).__name__)
+            raise
+        finally:
+            span.duration = time.perf_counter() - span.started_at
+            stack.pop()
+            if stack:
+                stack[-1].children.append(span)
+            else:
+                self._finish_root(span)
+
+    def _finish_root(self, span: Span) -> None:
+        with self._lock:
+            entry = self._aggregate.setdefault(span.name, [0, 0.0])
+            entry[0] += 1
+            entry[1] += span.duration
+            if span.duration >= self.slow_threshold:
+                trace = span.to_dict()
+                trace["recorded_at"] = time.time()
+                self._ring.append(trace)
+
+    def current(self) -> Span | None:
+        """The innermost open span on this thread, if any."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    def slow_traces(self) -> list[dict]:
+        """Recent slow root traces, oldest first."""
+        with self._lock:
+            return list(self._ring)
+
+    def snapshot(self) -> dict:
+        """Aggregates + slow ring, JSON-ready and deterministic."""
+        with self._lock:
+            spans = {name: {"count": entry[0], "seconds": entry[1]}
+                     for name, entry in sorted(self._aggregate.items())}
+            ring = list(self._ring)
+        return {"slow_threshold": self.slow_threshold,
+                "spans": spans, "slow_traces": ring}

@@ -29,6 +29,11 @@ asset:
   :class:`~repro.serve.scheduler.MaintenanceScheduler` background
   worker, off the observe path, with incremental (delta) checkpoint
   write-backs.
+
+Observability lives in the sibling :mod:`repro.obs` package; a
+:class:`~repro.serve.runtime.ServingRuntime` wires it through every
+layer by default (``observability=True``) and exposes
+``runtime.metrics()`` / ``runtime.export_prometheus()``.
 """
 
 from repro.serve.checkpoint import (
@@ -37,6 +42,8 @@ from repro.serve.checkpoint import (
     SUPPORTED_VERSIONS,
     CheckpointError,
     StateBaseline,
+    WriteStats,
+    last_write,
     load_checkpoint,
     load_checkpoint_with_baseline,
     load_checkpoint_with_manifest,
@@ -75,6 +82,8 @@ __all__ = [
     "ServingRuntime",
     "StateBaseline",
     "TenantStats",
+    "WriteStats",
+    "last_write",
     "load_checkpoint",
     "load_checkpoint_with_baseline",
     "load_checkpoint_with_manifest",

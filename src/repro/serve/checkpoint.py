@@ -46,6 +46,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 import time
 import uuid
 from dataclasses import dataclass
@@ -70,6 +71,8 @@ __all__ = [
     "DEFAULT_DELTA_MAX_FRACTION",
     "CheckpointError",
     "StateBaseline",
+    "WriteStats",
+    "last_write",
     "flatten_state",
     "unflatten_state",
     "save_checkpoint",
@@ -116,6 +119,35 @@ _DELTA_ID_KEY = "__delta_id__"
 
 class CheckpointError(RuntimeError):
     """A checkpoint is missing, torn, or structurally invalid."""
+
+
+@dataclass(frozen=True)
+class WriteStats:
+    """Accounting for the most recent committed save on this thread.
+
+    ``kind`` is ``"full"`` or ``"delta"``; ``bytes_written`` counts the
+    arrays/delta file plus the manifest rewrite; ``chain_length`` is the
+    delta-chain length *after* the save (0 for a compacting full save).
+    Recorded thread-locally — saves happen on the calling thread, so a
+    caller reading :func:`last_write` immediately after a save sees its
+    own write even with concurrent fleets in other threads.
+    """
+
+    kind: str
+    bytes_written: int
+    chain_length: int
+
+
+_LAST_WRITE = threading.local()
+
+
+def _note_write(kind: str, bytes_written: int, chain_length: int) -> None:
+    _LAST_WRITE.stats = WriteStats(kind, bytes_written, chain_length)
+
+
+def last_write() -> WriteStats | None:
+    """The calling thread's most recent save accounting, if any."""
+    return getattr(_LAST_WRITE, "stats", None)
 
 
 # ----------------------------------------------------------------------
@@ -332,6 +364,8 @@ def _write_full(model, directory: Path, arrays: dict[str, np.ndarray],
     _replace_into(directory, arrays_name, lambda h: np.savez(h, **arrays))
     _replace_into(directory, MANIFEST_NAME,
                   lambda h: h.write(json.dumps(manifest, indent=1, sort_keys=True).encode()))
+    _note_write("full", (directory / arrays_name).stat().st_size
+                + (directory / MANIFEST_NAME).stat().st_size, 0)
     # Post-commit cleanup: drop arrays/delta files no manifest references
     # (a full save compacts any delta chain) and dot-prefixed temp files
     # orphaned by earlier crashed saves (safe under the
@@ -438,6 +472,9 @@ def save_incremental(model, directory: str | Path, baseline: StateBaseline | Non
     _replace_into(directory, delta_name, lambda h: np.savez(h, **stored))
     _replace_into(directory, MANIFEST_NAME,
                   lambda h: h.write(json.dumps(manifest, indent=1, sort_keys=True).encode()))
+    _note_write("delta", (directory / delta_name).stat().st_size
+                + (directory / MANIFEST_NAME).stat().st_size,
+                len(manifest["deltas"]))
     return "delta", StateBaseline.capture(baseline.save_id, delta_id,
                                           baseline.chain_length + 1, arrays, leaves)
 

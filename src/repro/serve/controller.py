@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.protocols import GeofenceDecision
+from repro.obs.tracing import maybe_span
 from repro.serve.fleet import GeofenceFleet
 from repro.serve.policy import MaintenancePolicy
 from repro.serve.telemetry import FleetTelemetry, TenantStats
@@ -48,6 +49,7 @@ class TenantControlState:
     trigger_streak: int = 0      # consecutive telemetry-triggered refreshes
     idle_sweeps: int = 0         # consecutive maintain() sweeps with no traffic
     swept_at: int = 0            # observations at the last maintain() sweep
+    failed_refresh_streak: int = 0  # consecutive failed refresh/reprovision attempts
 
 
 class FleetController:
@@ -62,14 +64,29 @@ class FleetController:
         default default is the no-op :class:`MaintenancePolicy()`.
     policies:
         Per-tenant overrides (tenant_id -> policy).
+    metrics / tracer / shard:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` to count
+        maintenance actions into
+        (``repro_maintenance_actions_total{shard, action}``), an
+        optional :class:`~repro.obs.tracing.Tracer` wrapping each
+        executed refresh/reprovision in a ``maintenance`` span, and the
+        ``shard`` label value for the counters.
     """
 
     def __init__(self, fleet: GeofenceFleet, policy: MaintenancePolicy | None = None,
-                 policies: dict[str, MaintenancePolicy] | None = None):
+                 policies: dict[str, MaintenancePolicy] | None = None,
+                 metrics=None, tracer=None, shard: str = "0"):
         self.fleet = fleet
         self.policy = policy if policy is not None else MaintenancePolicy()
         self.policies = dict(policies or {})
         self.telemetry = FleetTelemetry()
+        self.tracer = tracer
+        self._shard = str(shard)
+        self._actions_family = metrics.counter(
+            "repro_maintenance_actions_total",
+            help="Maintenance actions executed by the control plane",
+            labels=("shard", "action")) if metrics is not None else None
+        self._action_children: dict[str, object] = {}
         self._states: dict[str, TenantControlState] = {}
         # Action log: (tenant_id, action) in execution order, for tests,
         # benchmarks and the CLI report.  Bounded by callers that care.
@@ -185,22 +202,26 @@ class FleetController:
         if scheduled or triggered:
             escalate = (triggered and policy.reprovision_after
                         and state.trigger_streak >= policy.reprovision_after)
+            verb = "reprovision" if escalate else "refresh"
             try:
-                if escalate:
-                    self.fleet.reprovision(tenant_id)
-                    actions.append("reprovision")
-                    state.trigger_streak = 0
-                else:
-                    if policy.admit_new_macs_after:
-                        self.fleet.refresh(
-                            tenant_id,
-                            admit_new_macs_after=policy.admit_new_macs_after)
+                with maybe_span(self.tracer, "maintenance", tenant=tenant_id,
+                                action=verb):
+                    if escalate:
+                        self.fleet.reprovision(tenant_id)
+                        actions.append("reprovision")
+                        state.trigger_streak = 0
                     else:
-                        # No kwarg: stays compatible with fleet stand-ins
-                        # that only implement refresh(tenant_id).
-                        self.fleet.refresh(tenant_id)
-                    actions.append("refresh")
-                    state.trigger_streak = state.trigger_streak + 1 if triggered else 0
+                        if policy.admit_new_macs_after:
+                            self.fleet.refresh(
+                                tenant_id,
+                                admit_new_macs_after=policy.admit_new_macs_after)
+                        else:
+                            # No kwarg: stays compatible with fleet stand-ins
+                            # that only implement refresh(tenant_id).
+                            self.fleet.refresh(tenant_id)
+                        actions.append("refresh")
+                        state.trigger_streak = state.trigger_streak + 1 if triggered else 0
+                state.failed_refresh_streak = 0
             except (TypeError, ValueError) as error:
                 # Operational conditions, not crashes: an empty or
                 # unembeddable reservoir (ValueError), or a controller-
@@ -212,8 +233,8 @@ class FleetController:
                 # escalation streak — reprovision (a full refit, which
                 # needs no refresh capability) is exactly the escape
                 # hatch for a tenant whose refreshes cannot succeed.
-                verb = "reprovision" if escalate else "refresh"
                 actions.append(f"{verb}-failed: {error}")
+                state.failed_refresh_streak += 1
                 if triggered and not escalate:
                     state.trigger_streak += 1
             state.refreshed_at = stats.observations
@@ -230,5 +251,28 @@ class FleetController:
             self._log(tenant_id, actions)
         return actions
 
+    def failed_refresh_streaks(self) -> dict[str, int]:
+        """``{tenant_id: consecutive failed refresh/reprovision attempts}``.
+
+        Only tenants with a live streak appear; a success resets the
+        tenant's streak to zero.  This is the raw signal behind the
+        ``stuck_refresh`` health probe.
+        """
+        return {tenant_id: state.failed_refresh_streak
+                for tenant_id, state in self._states.items()
+                if state.failed_refresh_streak}
+
     def _log(self, tenant_id: str, actions: list[str]) -> None:
         self.actions.extend((tenant_id, action) for action in actions)
+        if self._actions_family is not None:
+            for action in actions:
+                # "refresh-failed: <reason>" counts as "refresh-failed";
+                # the free-text reason stays in the action log, off the
+                # label (cardinality control).
+                name = action.split(":", 1)[0]
+                child = self._action_children.get(name)
+                if child is None:
+                    child = self._actions_family.labels(shard=self._shard,
+                                                        action=name)
+                    self._action_children[name] = child
+                child.inc()

@@ -52,12 +52,14 @@ from repro.core.gem import GEM
 from repro.core.io import record_from_dict, record_to_dict
 from repro.core.protocols import GeofenceDecision, GeofenceModel
 from repro.core.records import SignalRecord
+from repro.obs.tracing import maybe_span
 from repro.pipeline import PipelineSpec, build_pipeline
 from repro.pipeline.build import infer_spec
 from repro.serve.checkpoint import (
     DEFAULT_DELTA_MAX_FRACTION,
     DEFAULT_MAX_DELTA_CHAIN,
     CheckpointError,
+    last_write,
 )
 from repro.serve.registry import (
     RESERVOIR_METADATA_KEY,
@@ -115,7 +117,8 @@ class GeofenceFleet:
                  reservoir_size: int = DEFAULT_RESERVOIR_SIZE,
                  incremental: bool = False,
                  max_delta_chain: int = DEFAULT_MAX_DELTA_CHAIN,
-                 delta_max_fraction: float = DEFAULT_DELTA_MAX_FRACTION):
+                 delta_max_fraction: float = DEFAULT_DELTA_MAX_FRACTION,
+                 tracer=None):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         if reservoir_size < 0:
@@ -128,6 +131,10 @@ class GeofenceFleet:
         self.capacity = capacity
         self.model_factory = model_factory if model_factory is not None else GEM
         self.telemetry = telemetry if telemetry is not None else FleetTelemetry()
+        # Optional repro.obs.tracing.Tracer: spans on observe, refresh,
+        # reprovision and write-back paths; None costs one shared
+        # nullcontext per call.
+        self.tracer = tracer
         self.reservoir_size = reservoir_size
         self.incremental = incremental
         self.max_delta_chain = max_delta_chain
@@ -236,18 +243,19 @@ class GeofenceFleet:
     # ------------------------------------------------------------------
     def observe(self, tenant_id: str, record: SignalRecord) -> GeofenceDecision:
         """Algorithm-2 observation against one tenant's model."""
-        with self._lock:
-            model = self._acquire(tenant_id)
-            start = time.perf_counter()
-            decision = model.observe(record)
-            elapsed = time.perf_counter() - start
-            # observe() with attach=True mutates the graph even when no
-            # detector update fires — except for empty records, which
-            # return before touching anything.
-            if record.readings:
-                self._dirty.add(tenant_id)
-                self._remember_inlier(tenant_id, record, decision)
-        self.telemetry.record_observation(tenant_id, decision, seconds=elapsed)
+        with maybe_span(self.tracer, "observe", tenant=tenant_id):
+            with self._lock:
+                model = self._acquire(tenant_id)
+                start = time.perf_counter()
+                decision = model.observe(record)
+                elapsed = time.perf_counter() - start
+                # observe() with attach=True mutates the graph even when no
+                # detector update fires — except for empty records, which
+                # return before touching anything.
+                if record.readings:
+                    self._dirty.add(tenant_id)
+                    self._remember_inlier(tenant_id, record, decision)
+            self.telemetry.record_observation(tenant_id, decision, seconds=elapsed)
         return decision
 
     def observe_many(self, items: Iterable[tuple[str, SignalRecord]]) -> list[GeofenceDecision]:
@@ -324,45 +332,48 @@ class GeofenceFleet:
         ``commit_refresh`` protocol are refreshed inline under the lock,
         as before.
         """
-        with self._lock:
-            model = self._acquire(tenant_id)
-            if not hasattr(model, "refresh"):
-                raise TypeError(f"tenant {tenant_id!r} runs {type(model).__name__}, "
-                                "which has no coordinated refresh capability")
-            records = self._reservoir_records(tenant_id)
-            if not records:
-                raise ValueError(f"tenant {tenant_id!r} has an empty inlier reservoir "
-                                 "(reservoir_size=0, or no inliers observed yet); "
-                                 "nothing to refit the detector on")
-            start = time.perf_counter()
-            staged = hasattr(model, "begin_refresh") and hasattr(model, "commit_refresh")
-            if staged:
-                if tenant_id in self._refreshing:
-                    raise ValueError(
-                        f"tenant {tenant_id!r} already has a refresh rebuilding; "
-                        "overlapping refreshes would silently revert each other")
-                job = model.begin_refresh(records,
-                                          admit_new_macs_after=admit_new_macs_after)
-                self._refreshing.add(tenant_id)
-            else:
-                absorbed = (model.refresh(records, admit_new_macs_after=admit_new_macs_after)
-                            if admit_new_macs_after is not None else model.refresh(records))
-                self._dirty.add(tenant_id)
-        if staged:
-            try:
-                # Heavy rebuild on the job's copies, fleet lock released.
-                absorbed = job.build()
-                with self._lock:
-                    if self._cache.get(tenant_id) is not model:
+        with maybe_span(self.tracer, "refresh", tenant=tenant_id):
+            with self._lock:
+                model = self._acquire(tenant_id)
+                if not hasattr(model, "refresh"):
+                    raise TypeError(f"tenant {tenant_id!r} runs {type(model).__name__}, "
+                                    "which has no coordinated refresh capability")
+                records = self._reservoir_records(tenant_id)
+                if not records:
+                    raise ValueError(f"tenant {tenant_id!r} has an empty inlier reservoir "
+                                     "(reservoir_size=0, or no inliers observed yet); "
+                                     "nothing to refit the detector on")
+                start = time.perf_counter()
+                staged = hasattr(model, "begin_refresh") and hasattr(model, "commit_refresh")
+                if staged:
+                    if tenant_id in self._refreshing:
                         raise ValueError(
-                            f"tenant {tenant_id!r} was evicted or replaced while its "
-                            "refresh was rebuilding; the result was discarded")
-                    model.commit_refresh(job)
+                            f"tenant {tenant_id!r} already has a refresh rebuilding; "
+                            "overlapping refreshes would silently revert each other")
+                    job = model.begin_refresh(records,
+                                              admit_new_macs_after=admit_new_macs_after)
+                    self._refreshing.add(tenant_id)
+                else:
+                    absorbed = (model.refresh(records, admit_new_macs_after=admit_new_macs_after)
+                                if admit_new_macs_after is not None else model.refresh(records))
                     self._dirty.add(tenant_id)
-            finally:
-                with self._lock:
-                    self._refreshing.discard(tenant_id)
-        self.telemetry.record_refresh(tenant_id, seconds=time.perf_counter() - start)
+            if staged:
+                try:
+                    # Heavy rebuild on the job's copies, fleet lock released.
+                    with maybe_span(self.tracer, "refresh.build", tenant=tenant_id):
+                        absorbed = job.build()
+                    with maybe_span(self.tracer, "refresh.commit", tenant=tenant_id):
+                        with self._lock:
+                            if self._cache.get(tenant_id) is not model:
+                                raise ValueError(
+                                    f"tenant {tenant_id!r} was evicted or replaced while its "
+                                    "refresh was rebuilding; the result was discarded")
+                            model.commit_refresh(job)
+                            self._dirty.add(tenant_id)
+                finally:
+                    with self._lock:
+                        self._refreshing.discard(tenant_id)
+            self.telemetry.record_refresh(tenant_id, seconds=time.perf_counter() - start)
         return absorbed
 
     def reprovision(self, tenant_id: str) -> GeofenceModel:
@@ -377,7 +388,7 @@ class GeofenceFleet:
         leaves the old model serving.  The reservoir re-anchors on the
         records just refitted on.
         """
-        with self._lock:
+        with self._lock, maybe_span(self.tracer, "reprovision", tenant=tenant_id):
             model = self._acquire(tenant_id)
             records = self._reservoir_records(tenant_id)
             if not records:
@@ -524,26 +535,36 @@ class GeofenceFleet:
         self._dirty.discard(tenant_id)
 
     def _save(self, tenant_id: str, model) -> None:
-        start = time.perf_counter()
-        metadata = dict(self._metadata.get(tenant_id, {}))
-        anchor = self._anchors.get(tenant_id, ())
-        recent = self._recent.get(tenant_id, ())
-        if anchor or recent:
-            metadata[RESERVOIR_METADATA_KEY] = {
-                "anchor": [record_to_dict(r) for r in anchor],
-                "recent": [record_to_dict(r) for r in recent],
-            }
-        if self.incremental:
-            kind, baseline = self.registry.save_incremental(
-                tenant_id, model, self._baselines.get(tenant_id),
-                metadata=metadata, max_chain=self.max_delta_chain,
-                max_fraction=self.delta_max_fraction)
-            self._baselines[tenant_id] = baseline
-            elapsed = time.perf_counter() - start
-            if kind == "delta":
-                self.telemetry.record_delta_save(tenant_id, seconds=elapsed)
+        with maybe_span(self.tracer, "write_back", tenant=tenant_id) as span:
+            start = time.perf_counter()
+            metadata = dict(self._metadata.get(tenant_id, {}))
+            anchor = self._anchors.get(tenant_id, ())
+            recent = self._recent.get(tenant_id, ())
+            if anchor or recent:
+                metadata[RESERVOIR_METADATA_KEY] = {
+                    "anchor": [record_to_dict(r) for r in anchor],
+                    "recent": [record_to_dict(r) for r in recent],
+                }
+            if self.incremental:
+                kind, baseline = self.registry.save_incremental(
+                    tenant_id, model, self._baselines.get(tenant_id),
+                    metadata=metadata, max_chain=self.max_delta_chain,
+                    max_fraction=self.delta_max_fraction)
+                self._baselines[tenant_id] = baseline
+                elapsed = time.perf_counter() - start
+                if kind == "delta":
+                    self.telemetry.record_delta_save(tenant_id, seconds=elapsed)
+                else:
+                    self.telemetry.record_save(tenant_id, seconds=elapsed)
             else:
-                self.telemetry.record_save(tenant_id, seconds=elapsed)
-            return
-        self.registry.save(tenant_id, model, metadata=metadata)
-        self.telemetry.record_save(tenant_id, seconds=time.perf_counter() - start)
+                self.registry.save(tenant_id, model, metadata=metadata)
+                self.telemetry.record_save(tenant_id, seconds=time.perf_counter() - start)
+            # Byte-level accounting comes from the checkpoint layer (the
+            # save just ran on this thread); kind lands on the span so a
+            # slow write-back trace says whether compaction paid for it.
+            stats = last_write()
+            if stats is not None:
+                self.telemetry.record_write_stats(stats.kind, stats.bytes_written,
+                                                  stats.chain_length)
+                if span is not None:
+                    span.attrs["kind"] = stats.kind

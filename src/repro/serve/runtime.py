@@ -38,6 +38,10 @@ from typing import Callable, Iterable, Sequence
 
 from repro.core.protocols import GeofenceDecision, GeofenceModel
 from repro.core.records import SignalRecord
+from repro.obs.export import render_prometheus
+from repro.obs.health import HealthMonitor
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
 from repro.pipeline import PipelineSpec
 from repro.serve.fleet import DEFAULT_RESERVOIR_SIZE
 from repro.serve.policy import MaintenancePolicy
@@ -89,6 +93,23 @@ class ServingRuntime:
         False for byte-layout compatibility with plain fleets).
     model_factory / reservoir_size / max_delta_chain / delta_max_fraction:
         Forwarded to each shard's :class:`GeofenceFleet`.
+    observability:
+        Wire a :class:`~repro.obs.metrics.MetricsRegistry`, a
+        :class:`~repro.obs.tracing.Tracer` and a
+        :class:`~repro.obs.health.HealthMonitor` through every shard,
+        controller and the scheduler (default on; the mirror is a few
+        cached-child counter bumps per operation and never changes a
+        decision).  Read back via :meth:`metrics` /
+        :meth:`export_prometheus`.  Pass False for a bare runtime — the
+        overhead benchmark's control arm.
+    tenant_class_of:
+        Optional ``tenant_id -> class label`` mapping for the
+        ``tenant_class`` metric label (cardinality control; defaults to
+        one ``"all"`` class).
+    slow_trace_threshold / slow_trace_ring:
+        Root spans at least this many seconds long enter the tracer's
+        bounded ring of recent slow traces (see
+        :class:`~repro.obs.tracing.Tracer`).
     """
 
     def __init__(self, registry: ModelRegistry | str, num_shards: int = 1,
@@ -101,12 +122,34 @@ class ServingRuntime:
                  policy: MaintenancePolicy | None = None,
                  policies: dict[str, MaintenancePolicy] | None = None,
                  scheduler_interval: float | None = 0.05,
-                 sweep_every: int = 20):
+                 sweep_every: int = 20,
+                 observability: bool = True,
+                 tenant_class_of: Callable[[str], str] | None = None,
+                 slow_trace_threshold: float = 0.1,
+                 slow_trace_ring: int = 64):
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
         self.registry = registry if isinstance(registry, ModelRegistry) \
             else ModelRegistry(registry)
         self.num_shards = num_shards
+        if observability:
+            self.metrics_registry = MetricsRegistry()
+            self.tracer = Tracer(slow_threshold=slow_trace_threshold,
+                                 ring_size=slow_trace_ring)
+            self.health = HealthMonitor(metrics=self.metrics_registry)
+            # Pull-style gauges the runtime refreshes at snapshot time.
+            self._queue_gauge = self.metrics_registry.gauge(
+                "repro_shard_queue_depth",
+                help="Pending decisions on each shard's bus",
+                labels=("shard",))
+            self._pump_age_gauge = self.metrics_registry.gauge(
+                "repro_scheduler_last_pump_age_seconds",
+                help="Seconds since each shard's last completed pump",
+                labels=("shard",))
+        else:
+            self.metrics_registry = None
+            self.tracer = None
+            self.health = None
         background = scheduler_interval is not None
         # Serial mode arms the decision bus at construction when a
         # configured policy could act (maintain() is the pump there); a
@@ -123,12 +166,15 @@ class ServingRuntime:
                        max_delta_chain=max_delta_chain,
                        delta_max_fraction=delta_max_fraction,
                        policy=policy, policies=policies,
-                       track_decisions=track)
+                       track_decisions=track,
+                       metrics=self.metrics_registry, tracer=self.tracer,
+                       tenant_class_of=tenant_class_of)
             for index in range(num_shards)
         ]
         self.scheduler = MaintenanceScheduler(
             self.shards, interval=scheduler_interval,
-            sweep_every=sweep_every) if background else None
+            sweep_every=sweep_every,
+            metrics=self.metrics_registry) if background else None
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -298,3 +344,39 @@ class ServingRuntime:
             "scheduler": self.scheduler.stats() if self.scheduler is not None else None,
             "totals": totals.as_dict(),
         }
+
+    # ------------------------------------------------------------------
+    # Observability read surfaces
+    # ------------------------------------------------------------------
+    def metrics(self) -> dict:
+        """Full observability snapshot (requires ``observability=True``).
+
+        Refreshes the pull-style gauges (per-shard queue depth,
+        scheduler pump recency), evaluates every health probe, and
+        returns ``{"families", "health", "traces", "scheduler"}`` —
+        plain data, deterministic key order, safe to serialise with
+        :func:`repro.obs.export.snapshot_to_json` or render with
+        :func:`~repro.obs.export.render_prometheus`.
+        """
+        if self.metrics_registry is None:
+            raise RuntimeError("runtime was built with observability=False; "
+                               "no metrics to snapshot")
+        for shard in self.shards:
+            self._queue_gauge.labels(shard=str(shard.index)).set(
+                shard.pending_decisions)
+        if self.scheduler is not None:
+            for index, age in self.scheduler.last_pump_ages().items():
+                self._pump_age_gauge.labels(shard=str(index)).set(age)
+        health = self.health.check(self)
+        return {
+            "families": self.metrics_registry.snapshot(),
+            "health": {name: result.as_dict()
+                       for name, result in health.items()},
+            "traces": self.tracer.snapshot(),
+            "scheduler": (self.scheduler.snapshot()
+                          if self.scheduler is not None else None),
+        }
+
+    def export_prometheus(self) -> str:
+        """Prometheus text exposition of the current metrics snapshot."""
+        return render_prometheus(self.metrics())

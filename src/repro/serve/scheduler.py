@@ -45,10 +45,15 @@ class MaintenanceScheduler:
     sweep_every:
         Run the controllers' ``maintain()`` sweep every N ticks;
         0 disables sweeps (pump only).
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`; mirrors
+        ticks, drained decisions and errors into counters, and per-shard
+        pump recency into the ``repro_scheduler_last_pump_age_seconds``
+        gauge (refreshed by the runtime's ``metrics()`` snapshot).
     """
 
     def __init__(self, shards: Sequence, interval: float = 0.05,
-                 sweep_every: int = 20):
+                 sweep_every: int = 20, metrics=None):
         if interval <= 0:
             raise ValueError(f"interval must be > 0, got {interval}")
         if sweep_every < 0:
@@ -62,7 +67,21 @@ class MaintenanceScheduler:
         self._ticks = 0
         self._drained = 0
         self._sweeps = 0
+        self._errors_total = 0    # cumulative, unlike the bounded log
         self._started_at: float | None = None
+        # shard index -> monotonic time of its last completed pump.
+        self._last_pump: dict[int, float] = {}
+        self._metrics = metrics
+        if metrics is not None:
+            self._ticks_counter = metrics.counter(
+                "repro_scheduler_ticks_total",
+                help="Maintenance ticks completed")
+            self._drained_counter = metrics.counter(
+                "repro_scheduler_decisions_drained_total",
+                help="Decisions drained from shard buses into controllers")
+            self._errors_counter = metrics.counter(
+                "repro_scheduler_errors_total",
+                help="Maintenance exceptions caught (daemon kept running)")
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -120,6 +139,7 @@ class MaintenanceScheduler:
         for shard in self.shards:
             try:
                 drained += shard.pump()
+                self._last_pump[shard.index] = time.monotonic()
                 if sweep:
                     shard.sweep()
             except Exception:
@@ -127,12 +147,19 @@ class MaintenanceScheduler:
         self._drained += drained
         if sweep:
             self._sweeps += 1
+        if self._metrics is not None:
+            self._ticks_counter.inc()
+            if drained:
+                self._drained_counter.inc(drained)
         return drained
 
     def _record_error(self, shard_index: int) -> None:
         if len(self.errors) >= _MAX_ERRORS:
             del self.errors[: _MAX_ERRORS // 2]
         self.errors.append((shard_index, traceback.format_exc(limit=4)))
+        self._errors_total += 1
+        if self._metrics is not None:
+            self._errors_counter.inc()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -148,3 +175,35 @@ class MaintenanceScheduler:
             "uptime_seconds": (time.monotonic() - self._started_at
                                if self._started_at is not None else 0.0),
         }
+
+    def last_pump_ages(self) -> dict[int, float]:
+        """Seconds since each shard's last completed pump.
+
+        Shards never pumped are absent; a shard whose pump keeps raising
+        therefore *ages* here, which is the scheduler-staleness health
+        signal.
+        """
+        now = time.monotonic()
+        return {index: now - at for index, at in self._last_pump.items()}
+
+    def snapshot(self, recent_errors: int = 8) -> dict:
+        """Operational snapshot: :meth:`stats` plus the error log.
+
+        ``errors`` becomes a dict — ``count`` is the *cumulative* error
+        total (the inline log is bounded and halves when full, so its
+        length undercounts a long-lived daemon) and ``recent`` holds the
+        last ``recent_errors`` entries as ``{"shard", "error"}`` with
+        the traceback's final line (the exception message) as the error.
+        """
+        out = self.stats()
+        out["errors"] = {
+            "count": self._errors_total,
+            "recent": [
+                {"shard": index,
+                 "error": text.strip().rsplit("\n", 1)[-1].strip()}
+                for index, text in self.errors[-recent_errors:]
+            ],
+        }
+        out["last_pump_ages"] = {str(index): age
+                                 for index, age in self.last_pump_ages().items()}
+        return out

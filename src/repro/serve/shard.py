@@ -29,6 +29,7 @@ from repro.serve.controller import FleetController
 from repro.serve.fleet import DEFAULT_RESERVOIR_SIZE, GeofenceFleet
 from repro.serve.policy import MaintenancePolicy
 from repro.serve.registry import ModelRegistry
+from repro.serve.telemetry import FleetTelemetry
 
 __all__ = ["FleetShard"]
 
@@ -55,18 +56,30 @@ class FleetShard:
                  delta_max_fraction: float | None = None,
                  policy: MaintenancePolicy | None = None,
                  policies: dict[str, MaintenancePolicy] | None = None,
-                 track_decisions: bool | None = None):
+                 track_decisions: bool | None = None,
+                 metrics=None, tracer=None,
+                 tenant_class_of: Callable[[str], str] | None = None):
         knobs = {}
         if max_delta_chain is not None:
             knobs["max_delta_chain"] = max_delta_chain
         if delta_max_fraction is not None:
             knobs["delta_max_fraction"] = delta_max_fraction
         self.index = index
+        # One registry is shared across shards; the shard label keeps
+        # this shard's series apart, so the fleet's telemetry mirror and
+        # the controller's action counters both carry it.
+        telemetry = FleetTelemetry(metrics=metrics, shard=str(index),
+                                   tenant_class_of=tenant_class_of) \
+            if metrics is not None else None
         self.fleet = GeofenceFleet(registry, capacity=capacity,
                                    model_factory=model_factory,
+                                   telemetry=telemetry,
                                    reservoir_size=reservoir_size,
-                                   incremental=incremental, **knobs)
-        self.controller = FleetController(self.fleet, policy, policies)
+                                   incremental=incremental,
+                                   tracer=tracer, **knobs)
+        self.controller = FleetController(self.fleet, policy, policies,
+                                          metrics=metrics, tracer=tracer,
+                                          shard=str(index))
         if track_decisions is None:
             track_decisions = (policy is not None and not policy.is_noop()) \
                 or bool(policies)

@@ -4,14 +4,27 @@ The fleet records every observation outcome and every model lifecycle
 event (load, save, eviction) against the tenant it belongs to.
 Counters are plain integers plus a few seconds-accumulators, guarded by
 one lock so concurrent observers aggregate safely; :meth:`snapshot`
-returns deep copies that are safe to serialise or diff.
+returns deep copies that are safe to serialise or diff, with tenants,
+retired aggregate and totals all read under a single lock acquisition
+so the three sections describe the same instant (conservation: totals
+== sum(tenants) + retired, always).
+
+Optionally a telemetry instance is **backed by a**
+:class:`~repro.obs.metrics.MetricsRegistry`: every ``record_*`` call
+additionally feeds labeled counter/histogram families (``shard``,
+``tenant_class``, ``op``), which is how the sharded runtime gets
+latency percentiles and a Prometheus export without touching the
+fleet's hot path twice.  The mirror is write-through with pre-resolved
+children — a handful of cheap per-child lock acquisitions per record —
+and the classic :meth:`snapshot` shape is unchanged either way.
 """
 
 from __future__ import annotations
 
 import math
 import threading
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, fields
+from typing import Callable
 
 __all__ = ["TenantStats", "FleetTelemetry"]
 
@@ -45,7 +58,6 @@ class TenantStats:
             setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
 
 
-@dataclass
 class FleetTelemetry:
     """Thread-safe registry of :class:`TenantStats`, one per tenant.
 
@@ -53,17 +65,93 @@ class FleetTelemetry:
     calls :meth:`retire`, folding the counters into one ``retired``
     aggregate so fleet-wide totals stay exact while memory stays
     proportional to the *resident* set, not every tenant ever served.
+
+    Parameters
+    ----------
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` to mirror
+        every recording into (shared across shards; the ``shard`` label
+        keeps series apart).
+    shard:
+        Value of the ``shard`` label on mirrored series.
+    tenant_class_of:
+        Optional ``tenant_id -> class label`` mapping for the
+        ``tenant_class`` label on decision counters (cardinality
+        control: label *classes* of tenants, never tenant ids).
+        Defaults to the single class ``"all"``.
     """
 
-    _stats: dict[str, TenantStats] = field(default_factory=dict)
-    _retired: TenantStats = field(default_factory=TenantStats)
-    _lock: threading.Lock = field(default_factory=threading.Lock)
+    def __init__(self, metrics=None, shard: str = "0",
+                 tenant_class_of: Callable[[str], str] | None = None):
+        self._stats: dict[str, TenantStats] = {}
+        self._retired = TenantStats()
+        self._lock = threading.Lock()
+        self._metrics = metrics
+        self._shard = str(shard)
+        self._tenant_class_of = tenant_class_of
+        if metrics is not None:
+            self._decisions = metrics.counter(
+                "repro_decisions_total",
+                help="Geofence decisions by outcome",
+                labels=("shard", "tenant_class", "result"))
+            self._unembeddable = metrics.counter(
+                "repro_unembeddable_total",
+                help="Records with no embeddable MAC overlap (score=+inf)",
+                labels=("shard", "tenant_class"))
+            self._buffered = metrics.counter(
+                "repro_update_buffered_total",
+                help="Confident inliers entering the self-update buffer",
+                labels=("shard",)).labels(shard=self._shard)
+            self._applied = metrics.counter(
+                "repro_updates_applied_total",
+                help="Batch self-updates flushed into detectors",
+                labels=("shard",)).labels(shard=self._shard)
+            self._op_seconds = metrics.histogram(
+                "repro_op_seconds",
+                help="Latency of serving and maintenance operations",
+                labels=("shard", "op"))
+            self._lifecycle = metrics.counter(
+                "repro_lifecycle_total",
+                help="Model lifecycle events by operation",
+                labels=("shard", "op"))
+            self._bytes = metrics.counter(
+                "repro_checkpoint_bytes_total",
+                help="Checkpoint bytes written, by save kind",
+                labels=("shard", "kind"))
+            self._chain = metrics.gauge(
+                "repro_delta_chain_length",
+                help="Delta-chain length after the most recent write-back",
+                labels=("shard",)).labels(shard=self._shard)
+            # Pre-resolved histogram/lifecycle children (op label is a
+            # closed set, so resolve once and index by op string).
+            ops = ("observe", "load", "save", "delta_save", "evict",
+                   "refresh", "reprovision")
+            self._op_children = {op: self._op_seconds.labels(shard=self._shard, op=op)
+                                 for op in ops}
+            self._lifecycle_children = {op: self._lifecycle.labels(shard=self._shard, op=op)
+                                        for op in ops}
+            # (inside, outside, unembeddable) counter triples per class.
+            self._class_children: dict[str, tuple] = {}
 
     def _tenant(self, tenant_id: str) -> TenantStats:
         stats = self._stats.get(tenant_id)
         if stats is None:
             stats = self._stats.setdefault(tenant_id, TenantStats())
         return stats
+
+    def _decision_children(self, tenant_id: str) -> tuple:
+        label = self._tenant_class_of(tenant_id) if self._tenant_class_of else "all"
+        children = self._class_children.get(label)
+        if children is None:
+            children = (
+                self._decisions.labels(shard=self._shard, tenant_class=label,
+                                       result="inside"),
+                self._decisions.labels(shard=self._shard, tenant_class=label,
+                                       result="outside"),
+                self._unembeddable.labels(shard=self._shard, tenant_class=label),
+            )
+            self._class_children[label] = children
+        return children
 
     # ------------------------------------------------------------------
     # Recording
@@ -84,40 +172,72 @@ class FleetTelemetry:
             if decision.updated:
                 stats.updates_applied += 1
             stats.observe_seconds += seconds
+        if self._metrics is not None:
+            inside, outside, unembeddable = self._decision_children(tenant_id)
+            (inside if decision.inside else outside).inc()
+            if math.isinf(decision.score):
+                unembeddable.inc()
+            if decision.buffered:
+                self._buffered.inc()
+            if decision.updated:
+                self._applied.inc()
+            self._op_children["observe"].observe(seconds)
+
+    def _record_op(self, op: str, seconds: float | None = None) -> None:
+        """Mirror one lifecycle event (and optionally its latency)."""
+        if self._metrics is None:
+            return
+        self._lifecycle_children[op].inc()
+        if seconds is not None:
+            self._op_children[op].observe(seconds)
 
     def record_load(self, tenant_id: str, seconds: float = 0.0) -> None:
         with self._lock:
             stats = self._tenant(tenant_id)
             stats.loads += 1
             stats.load_seconds += seconds
+        self._record_op("load", seconds)
 
     def record_save(self, tenant_id: str, seconds: float = 0.0) -> None:
         with self._lock:
             stats = self._tenant(tenant_id)
             stats.saves += 1
             stats.save_seconds += seconds
+        self._record_op("save", seconds)
 
     def record_delta_save(self, tenant_id: str, seconds: float = 0.0) -> None:
         with self._lock:
             stats = self._tenant(tenant_id)
             stats.delta_saves += 1
             stats.save_seconds += seconds
+        self._record_op("delta_save", seconds)
 
     def record_eviction(self, tenant_id: str) -> None:
         with self._lock:
             self._tenant(tenant_id).evictions += 1
+        self._record_op("evict")
 
     def record_refresh(self, tenant_id: str, seconds: float = 0.0) -> None:
         with self._lock:
             stats = self._tenant(tenant_id)
             stats.refreshes += 1
             stats.refresh_seconds += seconds
+        self._record_op("refresh", seconds)
 
     def record_reprovision(self, tenant_id: str, seconds: float = 0.0) -> None:
         with self._lock:
             stats = self._tenant(tenant_id)
             stats.reprovisions += 1
             stats.refresh_seconds += seconds
+        self._record_op("reprovision", seconds)
+
+    def record_write_stats(self, kind: str, nbytes: int, chain_length: int) -> None:
+        """Mirror checkpoint write accounting (metrics-only; no
+        :class:`TenantStats` field changes shape for this)."""
+        if self._metrics is None:
+            return
+        self._bytes.labels(shard=self._shard, kind=kind).inc(nbytes)
+        self._chain.set(chain_length)
 
     def retire(self, tenant_id: str) -> None:
         """Fold a no-longer-resident tenant's counters into the aggregate."""
@@ -148,12 +268,16 @@ class FleetTelemetry:
 
         ``tenants`` holds per-tenant counters for tenants not yet
         retired; ``retired`` is the folded aggregate of evicted ones;
-        ``totals`` is their exact fleet-wide sum.
+        ``totals`` is their exact fleet-wide sum.  All three come from
+        one lock acquisition, so a snapshot taken mid-stream is
+        internally consistent: a concurrent ``record_observation`` or
+        ``retire`` lands entirely in this snapshot or entirely in the
+        next, never half in each.
         """
         with self._lock:
             tenants = {tid: stats.as_dict() for tid, stats in sorted(self._stats.items())}
             retired = self._retired.as_dict()
-        total = TenantStats(**retired)
-        for counters in tenants.values():
-            total.merge(TenantStats(**counters))
-        return {"tenants": tenants, "retired": retired, "totals": total.as_dict()}
+            total = TenantStats(**self._retired.as_dict())
+            for stats in self._stats.values():
+                total.merge(stats)
+            return {"tenants": tenants, "retired": retired, "totals": total.as_dict()}

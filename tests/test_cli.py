@@ -374,3 +374,77 @@ class TestRuntimeDaemon:
         assert run("runtime", "--registry", str(tmp_path / "reg"),
                    "--events", str(tmp_path / "missing.jsonl")) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestObservabilityCLI:
+    @pytest.fixture()
+    def metrics_file(self, tmp_path, capsys):
+        """Run the runtime daemon with --metrics-out; return the JSONL."""
+        records_path = tmp_path / "train.jsonl"
+        save_records(synthetic_records(30, seed=0, center=2.0), records_path)
+        registry_root = tmp_path / "reg"
+        assert run("train", "--arm", "GEM", "--quick",
+                   "--records", str(records_path),
+                   "--registry", str(registry_root), "--tenant", "t1") == 0
+        events = tmp_path / "events.jsonl"
+        with events.open("w") as handle:
+            for record in synthetic_records(12, seed=5, center=2.0):
+                event = record_to_dict(record)
+                event["tenant"] = "t1"
+                handle.write(json.dumps(event) + "\n")
+        metrics_path = tmp_path / "metrics.jsonl"
+        assert run("runtime", "--registry", str(registry_root),
+                   "--events", str(events), "--interval", "0",
+                   "--metrics-out", str(metrics_path)) == 0
+        assert "metrics snapshots appended to" in capsys.readouterr().err
+        return metrics_path
+
+    def test_metrics_out_appends_parseable_snapshots(self, metrics_file):
+        lines = metrics_file.read_text().splitlines()
+        assert len(lines) >= 1          # at least the final stop() snapshot
+        snapshot = json.loads(lines[-1])
+        assert "at" in snapshot
+        families = snapshot["families"]
+        assert "repro_decisions_total" in families
+        assert "repro_op_seconds" in families
+        assert set(snapshot["health"]) >= {"stuck_refresh", "decision_bus_depth"}
+
+    def test_obs_render_summary(self, metrics_file, capsys):
+        assert run("obs", "render", str(metrics_file)) == 0
+        out = capsys.readouterr().out
+        assert "Latency histograms" in out
+        assert "Counters and gauges" in out
+        assert "Health probes" in out
+        assert "repro_op_seconds" in out
+
+    def test_obs_render_prometheus(self, metrics_file, capsys):
+        assert run("obs", "render", str(metrics_file),
+                   "--format", "prometheus") == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_op_seconds histogram" in out
+        assert 'le="+Inf"' in out
+
+    def test_obs_render_json_to_file(self, metrics_file, tmp_path, capsys):
+        out_path = tmp_path / "snapshot.json"
+        assert run("obs", "render", str(metrics_file),
+                   "--format", "json", "-o", str(out_path)) == 0
+        assert "wrote" in capsys.readouterr().out
+        snapshot = json.loads(out_path.read_text())
+        assert "families" in snapshot
+
+    def test_obs_render_line_selection(self, metrics_file, capsys):
+        # --line 1 (first snapshot) and --line 0 (last) both work.
+        assert run("obs", "render", str(metrics_file), "--line", "1") == 0
+        capsys.readouterr()
+        assert run("obs", "render", str(metrics_file), "--line", "99") == 2
+        assert "out of range" in capsys.readouterr().err
+
+    def test_obs_render_missing_file(self, tmp_path, capsys):
+        assert run("obs", "render", str(tmp_path / "nope.jsonl")) == 2
+        assert "no such metrics file" in capsys.readouterr().err
+
+    def test_obs_render_empty_file(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert run("obs", "render", str(empty)) == 2
+        assert "no metrics snapshots" in capsys.readouterr().err
