@@ -25,6 +25,14 @@ Subcommands
     worker executing the given :class:`MaintenancePolicy` (coordinated
     refresh, escalation, flush, idle eviction) off the observe path,
     and incremental (delta) checkpoint write-backs.
+``cluster``
+    The replay through the multi-process cluster: a router
+    hash-partitions tenants across N worker processes (each a serial
+    runtime over its slice of the registry), optionally delta-shipping
+    every committed checkpoint write to a warm standby registry
+    (``--standby``) that ``--promote`` turns into a serving primary at
+    the end.  ``--quick`` is self-contained (synthetic world, temp
+    registry) for smoke tests.
 ``obs render``
     Pretty-print a metrics snapshot (the JSONL trail ``runtime
     --metrics-out`` appends, or any ``runtime.metrics()`` JSON) as
@@ -157,6 +165,41 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="seconds between metrics snapshots (with --metrics-out; "
                         "default 5)")
     p.add_argument("-o", "--out", help="write decisions to this file instead of stdout")
+
+    p = sub.add_parser("cluster",
+                       help="replay a JSONL event stream through the "
+                            "multi-process router (optional warm standby)")
+    p.add_argument("--registry", help="tenant registry root (omit with --quick "
+                                      "for a temp registry)")
+    p.add_argument("--events", help='JSONL events: {"tenant": ..., "rss": '
+                                    '{...}, "t": ...} (generated with --quick)')
+    p.add_argument("--workers", type=int, default=2, help="worker processes")
+    p.add_argument("--capacity", type=int, default=8,
+                   help="LRU budget per worker shard")
+    p.add_argument("--worker-shards", type=int, default=1,
+                   help="runtime shards inside each worker")
+    p.add_argument("--policy", help="MaintenancePolicy JSON file applied to "
+                                    "every tenant (default: no maintenance)")
+    p.add_argument("--standby", metavar="DIR",
+                   help="replicate committed checkpoint writes into this "
+                        "standby registry root")
+    p.add_argument("--promote", action="store_true",
+                   help="after the replay, promote the standby to a serving "
+                        "primary and report failover timing (needs --standby)")
+    p.add_argument("--timeout", type=float, default=60.0,
+                   help="per-request worker response timeout in seconds")
+    p.add_argument("--no-incremental", action="store_true",
+                   help="write full checkpoints instead of deltas")
+    p.add_argument("--local", action="store_true",
+                   help="in-process worker threads instead of subprocesses "
+                        "(debugging; same protocol, no fork)")
+    p.add_argument("--metrics-out", metavar="PATH",
+                   help="append router metrics snapshots (JSONL) to this file")
+    p.add_argument("--quick", action="store_true",
+                   help="self-contained smoke run: tiny synthetic world, "
+                        "temp registry, generated events")
+    p.add_argument("-o", "--out", help="write decisions to this file instead "
+                                       "of stdout")
 
     p = sub.add_parser("obs", help="observability utilities (metrics snapshots)")
     obs_sub = p.add_subparsers(dest="obs_command", required=True)
@@ -443,16 +486,61 @@ def _cmd_drift(args) -> int:
     return 0
 
 
-def _replay_events(observe, events_path: Path, out_handle) -> int:
+class _GracefulShutdown:
+    """SIGTERM/SIGINT -> a should-stop flag instead of a traceback.
+
+    The serving subcommands check the flag between events, so a
+    terminated replay still runs its full teardown: the scheduler stops,
+    dirty tenants flush, and the final metrics snapshot is written.
+    Calling the instance reads the flag (it is the ``should_stop``
+    callable :func:`_replay_events` takes); handlers are restored on
+    exit, and a second signal falls through to the previous handler so
+    a wedged teardown can still be interrupted.
+    """
+
+    def __init__(self):
+        self.signal_name: str | None = None
+        self._previous: dict[int, object] = {}
+
+    def __call__(self) -> bool:
+        return self.signal_name is not None
+
+    def _handle(self, signum, frame) -> None:
+        import signal
+        self.signal_name = signal.Signals(signum).name
+        # Restore the previous disposition: one signal requests a
+        # graceful stop, a second one escalates (default: terminate).
+        for number, previous in self._previous.items():
+            signal.signal(number, previous)
+
+    def __enter__(self) -> "_GracefulShutdown":
+        import signal
+        for number in (signal.SIGTERM, signal.SIGINT):
+            self._previous[number] = signal.signal(number, self._handle)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        import signal
+        if self.signal_name is None:
+            for number, previous in self._previous.items():
+                signal.signal(number, previous)
+
+
+def _replay_events(observe, events_path: Path, out_handle,
+                   should_stop=None) -> int:
     """Stream JSONL events through ``observe``; returns events served.
 
     Raises ValueError with the offending line number on a malformed
-    event, so callers surface one actionable error line.
+    event, so callers surface one actionable error line.  A truthy
+    ``should_stop()`` between events ends the replay early (graceful
+    shutdown), leaving teardown to the caller.
     """
     from repro.core.io import record_from_dict
     served = 0
     with events_path.open() as handle:
         for line_number, line in enumerate(handle, start=1):
+            if should_stop is not None and should_stop():
+                break
             line = line.strip()
             if not line:
                 continue
@@ -514,11 +602,12 @@ def _cmd_runtime(args) -> int:
             from repro.obs import MetricsDumper
             dumper = MetricsDumper(runtime.metrics, args.metrics_out,
                                    interval=args.metrics_interval)
-        with runtime:
+        with _GracefulShutdown() as shutdown, runtime:
             if dumper is not None:
                 dumper.start()
             try:
-                served = _replay_events(runtime.observe, events_path, out_handle)
+                served = _replay_events(runtime.observe, events_path,
+                                        out_handle, should_stop=shutdown)
                 if runtime.scheduler is None:
                     # Serial mode: run the maintenance the daemon would have.
                     runtime.maintain()
@@ -531,6 +620,9 @@ def _cmd_runtime(args) -> int:
         # have happened, so the counters describe the whole replay.
         stats = runtime.stats()
         actions = runtime.maintenance_actions()
+        if shutdown():
+            print(f"{shutdown.signal_name}: stopped after {served} event(s); "
+                  "scheduler drained, dirty tenants flushed", file=sys.stderr)
         print(f"served {served} events from {events_path} across "
               f"{args.shards} shard(s)", file=sys.stderr)
         totals = stats["totals"]
@@ -549,6 +641,110 @@ def _cmd_runtime(args) -> int:
     finally:
         if args.out:
             out_handle.close()
+    return 0
+
+
+def _quick_cluster_world(root: Path, router) -> Path:
+    """Provision a tiny synthetic world through ``router``; returns the
+    generated events file (two tenants, interleaved test sessions)."""
+    from repro.core.io import record_to_dict
+    from repro.eval.algorithms import arm_spec
+    spec = arm_spec("GEM", seed=0, dim=16, gem_config=_quick_gem_config(),
+                    strict=False)
+    dataset = _user_dataset(1, quick=True)
+    # These two hash to different workers of a 2-worker cluster
+    # (shard_index: smoke-a -> 0, smoke-d -> 1), so the smoke run
+    # exercises real fan-out, not one busy worker and one idle.
+    tenants = ["smoke-a", "smoke-d"]
+    for tenant in tenants:
+        router.provision(tenant, dataset.train, spec=spec)
+    events_path = root / "events.jsonl"
+    with events_path.open("w") as handle:
+        for position, labeled in enumerate(dataset.test):
+            event = {"tenant": tenants[position % len(tenants)],
+                     **record_to_dict(labeled.record)}
+            handle.write(json.dumps(event) + "\n")
+    return events_path
+
+
+def _cmd_cluster(args) -> int:
+    import tempfile
+
+    from repro.serve import MaintenancePolicy
+    from repro.serve.cluster import Router, spawn_local_worker
+
+    if not args.quick and not (args.registry and args.events):
+        print("error: pass --registry and --events, or --quick for a "
+              "self-contained smoke run", file=sys.stderr)
+        return 2
+    if args.promote and not args.standby:
+        print("error: --promote needs --standby", file=sys.stderr)
+        return 2
+    policy = MaintenancePolicy.from_json(Path(args.policy).read_text()) \
+        if args.policy else None
+    out_handle = open(args.out, "w") if args.out else sys.stdout
+    scratch = tempfile.TemporaryDirectory() if args.quick else None
+    try:
+        root = Path(scratch.name) if scratch else None
+        registry = args.registry or str(root / "registry")
+        router = Router(registry, num_workers=args.workers,
+                        capacity=args.capacity,
+                        incremental=not args.no_incremental,
+                        policy=policy, standby=args.standby,
+                        timeout=args.timeout,
+                        launcher=spawn_local_worker if args.local else None,
+                        worker_shards=args.worker_shards)
+        dumper = None
+        if args.metrics_out:
+            from repro.obs import MetricsDumper
+            dumper = MetricsDumper(router.metrics, args.metrics_out)
+        with _GracefulShutdown() as shutdown, router:
+            if dumper is not None:
+                dumper.start()
+            try:
+                events_path = _quick_cluster_world(root, router) if args.quick \
+                    else Path(args.events)
+                if not events_path.is_file():
+                    print(f"error: no such events file: {events_path}",
+                          file=sys.stderr)
+                    return 2
+                served = _replay_events(router.observe, events_path,
+                                        out_handle, should_stop=shutdown)
+                router.maintain()
+                flushed = router.flush()
+                worker_stats = router.worker_stats()
+                replication = router.replication_stats()
+                report = router.promote() if args.promote else None
+            finally:
+                if dumper is not None:
+                    dumper.stop()
+        if shutdown():
+            print(f"{shutdown.signal_name}: stopped after {served} event(s); "
+                  "workers flushed and shut down", file=sys.stderr)
+        print(f"served {served} events across {args.workers} worker(s); "
+              f"flushed {flushed} tenant(s)", file=sys.stderr)
+        for stats in worker_stats:
+            print(f"worker {stats['worker']} (pid {stats['pid']}): "
+                  f"{stats['requests']} request(s), "
+                  f"{stats['busy_seconds']:.2f}s busy", file=sys.stderr)
+        if replication is not None:
+            print(f"replication: {replication['applied']} applied, "
+                  f"{replication['skipped']} skipped, "
+                  f"{replication['rejected']} rejected; "
+                  f"lag {replication['last_lag_seconds'] * 1e3:.1f} ms",
+                  file=sys.stderr)
+        if report is not None:
+            print(f"promoted standby {args.standby}: {report.tenants} "
+                  f"tenant(s), {report.compacted} compacted, "
+                  f"{report.seconds * 1e3:.1f} ms failover", file=sys.stderr)
+        if args.metrics_out:
+            print(f"metrics snapshots appended to {args.metrics_out}",
+                  file=sys.stderr)
+    finally:
+        if args.out:
+            out_handle.close()
+        if scratch is not None:
+            scratch.cleanup()
     return 0
 
 
@@ -729,6 +925,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "runtime": _cmd_runtime,
     "serve-daemon": _cmd_runtime,
+    "cluster": _cmd_cluster,
     "maintain": _cmd_maintain,
     "drift": _cmd_drift,
     "obs": _cmd_obs,

@@ -21,11 +21,20 @@ instead of rediscovering the postmortems:
 * ``decision_bus_depth`` — pending decisions on the busiest shard's
   bus.  Nothing bounds the bus if maintenance falls behind; depth is
   the backpressure signal a router should shed on.
+* ``replication_lag`` — seconds between a primary's committed
+  checkpoint write and its apply on the warm standby (cluster routers
+  only: the target exposes ``replication_lag()``).  A growing lag means
+  a failover would lose recent write-backs; the thresholds (5 s warn /
+  30 s critical by default) are the alert the README's failover
+  runbook wires up.
 
-:class:`HealthMonitor` evaluates all four against a runtime and mirrors
-each probe into two gauges (``repro_health_value`` /
-``repro_health_status``; status 0=ok, 1=warn, 2=critical) so the same
-thresholds drive the Prometheus alert and the JSON snapshot.
+:class:`HealthMonitor` evaluates every probe its target supports — the
+four shard probes need ``shards``/``telemetry_totals()`` (a
+:class:`ServingRuntime`); the replication probe needs
+``replication_lag()`` (a cluster :class:`Router`) — and mirrors each
+result into two gauges (``repro_health_value`` / ``repro_health_status``;
+status 0=ok, 1=warn, 2=critical) so the same thresholds drive the
+Prometheus alert and the JSON snapshot.
 """
 
 from __future__ import annotations
@@ -79,7 +88,8 @@ class HealthMonitor:
                  stuck_refresh: tuple[int, int] = (2, 4),
                  starvation_window: int = 200,
                  scheduler_staleness: tuple[float, float] = (5.0, 30.0),
-                 bus_depth: tuple[int, int] = (1_000, 10_000)):
+                 bus_depth: tuple[int, int] = (1_000, 10_000),
+                 replication_lag: tuple[float, float] = (5.0, 30.0)):
         self.thresholds = {
             "stuck_refresh": (float(stuck_refresh[0]), float(stuck_refresh[1])),
             "reservoir_starvation": (float(starvation_window),
@@ -87,6 +97,8 @@ class HealthMonitor:
             "scheduler_staleness": (float(scheduler_staleness[0]),
                                     float(scheduler_staleness[1])),
             "decision_bus_depth": (float(bus_depth[0]), float(bus_depth[1])),
+            "replication_lag": (float(replication_lag[0]),
+                                float(replication_lag[1])),
         }
         self._metrics = metrics
         if metrics is not None:
@@ -105,18 +117,24 @@ class HealthMonitor:
     # Probe evaluation
     # ------------------------------------------------------------------
     def check(self, runtime) -> dict[str, ProbeResult]:
-        """Evaluate every probe; returns ``{probe name: result}``.
+        """Evaluate every supported probe; returns ``{probe name: result}``.
 
-        ``runtime`` is duck-typed (a :class:`ServingRuntime`): shards
-        with controllers and pending queues, optional scheduler,
-        ``telemetry_totals()``.
+        ``runtime`` is duck-typed: the four shard probes run when it has
+        ``shards`` (controllers, pending queues, optional scheduler,
+        ``telemetry_totals()`` — a :class:`ServingRuntime`); the
+        replication probe runs when it has ``replication_lag()`` (a
+        cluster router with a warm standby).
         """
-        results = {
-            "stuck_refresh": self._check_stuck_refresh(runtime),
-            "reservoir_starvation": self._check_starvation(runtime),
-            "scheduler_staleness": self._check_staleness(runtime),
-            "decision_bus_depth": self._check_bus_depth(runtime),
-        }
+        results: dict[str, ProbeResult] = {}
+        if hasattr(runtime, "shards"):
+            results.update({
+                "stuck_refresh": self._check_stuck_refresh(runtime),
+                "reservoir_starvation": self._check_starvation(runtime),
+                "scheduler_staleness": self._check_staleness(runtime),
+                "decision_bus_depth": self._check_bus_depth(runtime),
+            })
+        if hasattr(runtime, "replication_lag"):
+            results["replication_lag"] = self._check_replication(runtime)
         if self._metrics is not None:
             for name, result in results.items():
                 self._value_gauge.labels(probe=name).set(result.value)
@@ -175,3 +193,9 @@ class HealthMonitor:
         return self._result("decision_bus_depth", depths[worst_shard],
                             f"shard {worst_shard} has {depths[worst_shard]} "
                             "pending decisions")
+
+    def _check_replication(self, runtime) -> ProbeResult:
+        lag = float(runtime.replication_lag())
+        detail = f"newest standby apply ran {lag:.2f}s after its commit" \
+            if lag else ""
+        return self._result("replication_lag", lag, detail)

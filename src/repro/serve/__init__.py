@@ -28,7 +28,14 @@ asset:
   LRU slices and telemetry) and runs policy maintenance on a
   :class:`~repro.serve.scheduler.MaintenanceScheduler` background
   worker, off the observe path, with incremental (delta) checkpoint
-  write-backs.
+  write-backs;
+* :mod:`repro.serve.cluster` — the **scale-out layer**: a
+  :class:`~repro.serve.cluster.router.Router` hash-partitions tenants
+  across worker *processes* (each a serial runtime over its registry
+  slice, spoken to over a length-prefixed framing protocol) and
+  optionally delta-ships every committed checkpoint write to a warm
+  standby registry a :class:`~repro.serve.cluster.replicate.Follower`
+  can ``promote()`` for failover.
 
 Observability lives in the sibling :mod:`repro.obs` package; a
 :class:`~repro.serve.runtime.ServingRuntime` wires it through every
@@ -41,8 +48,10 @@ from repro.serve.checkpoint import (
     INCREMENTAL_VERSION,
     SUPPORTED_VERSIONS,
     CheckpointError,
+    CommitInfo,
     StateBaseline,
     WriteStats,
+    last_commit,
     last_write,
     load_checkpoint,
     load_checkpoint_with_baseline,
@@ -68,6 +77,7 @@ from repro.serve.telemetry import FleetTelemetry, TenantStats
 __all__ = [
     "CHECKPOINT_VERSION",
     "CheckpointError",
+    "CommitInfo",
     "DEFAULT_RESERVOIR_SIZE",
     "FleetController",
     "FleetShard",
@@ -83,6 +93,7 @@ __all__ = [
     "StateBaseline",
     "TenantStats",
     "WriteStats",
+    "last_commit",
     "last_write",
     "load_checkpoint",
     "load_checkpoint_with_baseline",

@@ -70,8 +70,10 @@ __all__ = [
     "DEFAULT_MAX_DELTA_CHAIN",
     "DEFAULT_DELTA_MAX_FRACTION",
     "CheckpointError",
+    "CommitInfo",
     "StateBaseline",
     "WriteStats",
+    "last_commit",
     "last_write",
     "flatten_state",
     "unflatten_state",
@@ -138,6 +140,27 @@ class WriteStats:
     chain_length: int
 
 
+@dataclass(frozen=True)
+class CommitInfo:
+    """Identity of the most recent committed save on this thread.
+
+    Where :class:`WriteStats` answers "how expensive was the write",
+    ``CommitInfo`` answers "*which* write committed": the save/delta ids,
+    the file the commit added, and the directory it landed in — exactly
+    what a replication shipper needs to package the committed entry for
+    a follower.  ``tip_id`` is the chain tip after the commit (equal to
+    ``save_id`` for a full save, to ``delta_id`` for a delta).
+    """
+
+    kind: str                # "full" | "delta"
+    directory: str           # checkpoint directory the commit landed in
+    save_id: str             # id of the base full save the chain hangs off
+    delta_id: str | None     # id of the committed delta (None for a full save)
+    tip_id: str              # chain tip after this commit
+    chain_length: int        # committed deltas after this write
+    file_name: str           # the arrays-*/delta-* file this commit added
+
+
 _LAST_WRITE = threading.local()
 
 
@@ -145,9 +168,24 @@ def _note_write(kind: str, bytes_written: int, chain_length: int) -> None:
     _LAST_WRITE.stats = WriteStats(kind, bytes_written, chain_length)
 
 
+def _note_commit(info: CommitInfo) -> None:
+    _LAST_WRITE.commit = info
+
+
 def last_write() -> WriteStats | None:
     """The calling thread's most recent save accounting, if any."""
     return getattr(_LAST_WRITE, "stats", None)
+
+
+def last_commit() -> CommitInfo | None:
+    """The calling thread's most recent commit identity, if any.
+
+    This is the committed-write event hook the replication layer hangs
+    off: a caller that just ran :func:`save_checkpoint` /
+    :func:`save_incremental` (directly or through a registry) reads back
+    which file the commit added and where the chain tip moved to.
+    """
+    return getattr(_LAST_WRITE, "commit", None)
 
 
 # ----------------------------------------------------------------------
@@ -366,6 +404,9 @@ def _write_full(model, directory: Path, arrays: dict[str, np.ndarray],
                   lambda h: h.write(json.dumps(manifest, indent=1, sort_keys=True).encode()))
     _note_write("full", (directory / arrays_name).stat().st_size
                 + (directory / MANIFEST_NAME).stat().st_size, 0)
+    _note_commit(CommitInfo(kind="full", directory=str(directory),
+                            save_id=save_id, delta_id=None, tip_id=save_id,
+                            chain_length=0, file_name=arrays_name))
     # Post-commit cleanup: drop arrays/delta files no manifest references
     # (a full save compacts any delta chain) and dot-prefixed temp files
     # orphaned by earlier crashed saves (safe under the
@@ -475,6 +516,10 @@ def save_incremental(model, directory: str | Path, baseline: StateBaseline | Non
     _note_write("delta", (directory / delta_name).stat().st_size
                 + (directory / MANIFEST_NAME).stat().st_size,
                 len(manifest["deltas"]))
+    _note_commit(CommitInfo(kind="delta", directory=str(directory),
+                            save_id=baseline.save_id, delta_id=delta_id,
+                            tip_id=delta_id, chain_length=len(manifest["deltas"]),
+                            file_name=delta_name))
     return "delta", StateBaseline.capture(baseline.save_id, delta_id,
                                           baseline.chain_length + 1, arrays, leaves)
 

@@ -20,7 +20,9 @@ from repro.serve.checkpoint import (
     DEFAULT_MAX_DELTA_CHAIN,
     MANIFEST_NAME,
     CheckpointError,
+    CommitInfo,
     StateBaseline,
+    last_commit,
     load_checkpoint_with_baseline,
     load_checkpoint_with_manifest,
     read_manifest,
@@ -54,17 +56,54 @@ class ModelRegistry:
     def __init__(self, root: str | Path):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        # Commit listeners: callables invoked synchronously, on the
+        # saving thread, right after each committed write.  The caller
+        # that serialises saves per tenant (the fleet lock) therefore
+        # also serialises what the listener observes, so a listener may
+        # safely read the just-committed files before the next save.
+        self._listeners: list = []
 
     def path_for(self, tenant_id: str) -> Path:
         """The checkpoint directory a tenant's model lives in."""
         return self.root / validate_tenant_id(tenant_id)
 
     # ------------------------------------------------------------------
+    # Commit events (the replication hook)
+    # ------------------------------------------------------------------
+    def subscribe(self, listener) -> "callable":
+        """Call ``listener(tenant_id, CommitInfo)`` after every commit.
+
+        Fires for full and delta saves alike (a provision, flush,
+        eviction write-back or compaction all commit through here);
+        returns an unsubscribe callable.  Listeners run on the saving
+        thread — keep them cheap, or hand off to a queue.
+        """
+        self._listeners.append(listener)
+
+        def unsubscribe() -> None:
+            try:
+                self._listeners.remove(listener)
+            except ValueError:
+                pass
+        return unsubscribe
+
+    def _notify(self, tenant_id: str) -> None:
+        if not self._listeners:
+            return
+        info = last_commit()
+        if info is None:  # pragma: no cover - save paths always note commits
+            return
+        for listener in list(self._listeners):
+            listener(tenant_id, info)
+
+    # ------------------------------------------------------------------
     # Writes
     # ------------------------------------------------------------------
     def save(self, tenant_id: str, model, metadata: dict | None = None) -> Path:
         """Checkpoint ``model`` as ``tenant_id``'s current model."""
-        return save_checkpoint(model, self.path_for(tenant_id), metadata=metadata)
+        path = save_checkpoint(model, self.path_for(tenant_id), metadata=metadata)
+        self._notify(tenant_id)
+        return path
 
     def save_incremental(self, tenant_id: str, model,
                          baseline: StateBaseline | None,
@@ -77,9 +116,11 @@ class ModelRegistry:
         Returns ``("delta" | "full", new_baseline)``; see
         :func:`repro.serve.checkpoint.save_incremental`.
         """
-        return save_incremental(model, self.path_for(tenant_id), baseline,
-                                metadata=metadata, max_chain=max_chain,
-                                max_fraction=max_fraction)
+        result = save_incremental(model, self.path_for(tenant_id), baseline,
+                                  metadata=metadata, max_chain=max_chain,
+                                  max_fraction=max_fraction)
+        self._notify(tenant_id)
+        return result
 
     def delete(self, tenant_id: str) -> bool:
         """Remove a tenant's checkpoint; True if one existed."""

@@ -185,6 +185,23 @@ class ServingRuntime:
         return self.shards[shard_index(tenant_id, self.num_shards)]
 
     # ------------------------------------------------------------------
+    # Commit events
+    # ------------------------------------------------------------------
+    def on_commit(self, listener) -> Callable[[], None]:
+        """Call ``listener(tenant_id, CommitInfo)`` after every committed
+        checkpoint write any shard performs (provision, flush, eviction
+        write-back, delta append, compaction).
+
+        This is the replication hook: a
+        :class:`~repro.serve.cluster.replicate.DeltaShipper` subscribes
+        here to stream committed format-3 delta entries (and full saves)
+        to a standby registry.  Shards share one registry, so one
+        subscription covers the whole runtime; returns an unsubscribe
+        callable.
+        """
+        return self.registry.subscribe(listener)
+
+    # ------------------------------------------------------------------
     # Daemon lifecycle
     # ------------------------------------------------------------------
     def start(self) -> "ServingRuntime":

@@ -448,3 +448,146 @@ class TestObservabilityCLI:
         empty.write_text("")
         assert run("obs", "render", str(empty)) == 2
         assert "no metrics snapshots" in capsys.readouterr().err
+
+
+class TestClusterCLI:
+    @pytest.fixture()
+    def cluster_world(self, tmp_path):
+        """Two provisioned tenants (on different workers of 2) + events."""
+        from repro.core import GEM, GEMConfig
+        from repro.embedding.bisage import BiSAGEConfig
+        from repro.serve import ServingRuntime
+
+        fast = GEMConfig(bisage=BiSAGEConfig(dim=8, epochs=1, seed=0))
+        registry_root = tmp_path / "reg"
+        tenants = ["smoke-a", "smoke-d"]    # shard_index(t, 2) = 0 and 1
+        with ServingRuntime(registry_root, num_shards=1,
+                            model_factory=lambda: GEM(fast),
+                            scheduler_interval=None) as runtime:
+            for index, tenant in enumerate(tenants):
+                runtime.provision(tenant, synthetic_records(
+                    25, num_macs=10, seed=index, center=2.0 + index))
+        events = tmp_path / "events.jsonl"
+        with events.open("w") as handle:
+            for position, record in enumerate(synthetic_records(10, num_macs=10,
+                                                                seed=77)):
+                event = record_to_dict(record)
+                event["tenant"] = tenants[position % 2]
+                handle.write(json.dumps(event) + "\n")
+        return registry_root, events
+
+    def test_cluster_local_replay(self, tmp_path, cluster_world, capsys):
+        registry_root, events = cluster_world
+        out_path = tmp_path / "decisions.jsonl"
+        assert run("cluster", "--registry", str(registry_root),
+                   "--events", str(events), "--workers", "2", "--local",
+                   "-o", str(out_path)) == 0
+        decisions = [json.loads(line)
+                     for line in out_path.read_text().splitlines()]
+        assert len(decisions) == 10
+        assert {d["tenant"] for d in decisions} == {"smoke-a", "smoke-d"}
+        err = capsys.readouterr().err
+        assert "served 10 events across 2 worker(s)" in err
+        assert "worker 0" in err and "worker 1" in err
+
+    def test_cluster_standby_promote_and_metrics(self, tmp_path, cluster_world,
+                                                 capsys):
+        from repro.serve import ModelRegistry
+        registry_root, events = cluster_world
+        standby = tmp_path / "standby"
+        metrics_path = tmp_path / "metrics.jsonl"
+        assert run("cluster", "--registry", str(registry_root),
+                   "--events", str(events), "--workers", "2", "--local",
+                   "--standby", str(standby), "--promote",
+                   "--metrics-out", str(metrics_path),
+                   "-o", str(tmp_path / "decisions.jsonl")) == 0
+        err = capsys.readouterr().err
+        assert "replication:" in err and "rejected" in err
+        assert "promoted standby" in err
+        # The promoted standby is a complete, loadable registry.
+        promoted = ModelRegistry(standby)
+        assert sorted(promoted.tenants()) == ["smoke-a", "smoke-d"]
+        load_checkpoint(standby / "smoke-a")
+        snapshots = [json.loads(line)
+                     for line in metrics_path.read_text().splitlines()]
+        assert snapshots and "families" in snapshots[-1]
+        assert "repro_router_requests_total" in snapshots[-1]["families"]
+
+    def test_cluster_without_registry_or_quick_exits_two(self, capsys):
+        assert run("cluster", "--workers", "2") == 2
+        assert "--registry and --events" in capsys.readouterr().err
+
+    def test_cluster_promote_needs_standby(self, tmp_path, capsys):
+        assert run("cluster", "--registry", str(tmp_path / "reg"),
+                   "--events", str(tmp_path / "events.jsonl"),
+                   "--promote") == 2
+        assert "--promote needs --standby" in capsys.readouterr().err
+
+    def test_cluster_missing_events_file(self, tmp_path, cluster_world, capsys):
+        registry_root, _ = cluster_world
+        assert run("cluster", "--registry", str(registry_root),
+                   "--events", str(tmp_path / "nope.jsonl"), "--local") == 2
+        assert "no such events file" in capsys.readouterr().err
+
+
+class TestGracefulShutdown:
+    def test_signal_sets_flag_and_replay_stops(self, tmp_path):
+        import os
+        import signal
+
+        from repro.cli import _GracefulShutdown, _replay_events
+
+        events = tmp_path / "events.jsonl"
+        with events.open("w") as handle:
+            for record in synthetic_records(8, seed=3):
+                event = record_to_dict(record)
+                event["tenant"] = "t1"
+                handle.write(json.dumps(event) + "\n")
+
+        class FakeRuntime:
+            def __init__(self):
+                self.seen = 0
+
+            def observe(self, tenant, record):
+                self.seen += 1
+                if self.seen == 3:      # the operator hits ctrl-C mid-replay
+                    os.kill(os.getpid(), signal.SIGTERM)
+                from repro.core.protocols import GeofenceDecision
+                return GeofenceDecision(inside=True, score=0.1)
+
+        fake = FakeRuntime()
+        out = tmp_path / "decisions.jsonl"
+        with out.open("w") as out_handle:
+            with _GracefulShutdown() as shutdown:
+                assert not shutdown()
+                served = _replay_events(fake.observe, events, out_handle,
+                                        should_stop=shutdown)
+        assert shutdown() and shutdown.signal_name == "SIGTERM"
+        # The in-flight event finished, the rest were skipped cleanly.
+        assert served == 3 and fake.seen == 3
+
+    def test_handlers_restored_after_clean_exit(self):
+        import signal
+
+        from repro.cli import _GracefulShutdown
+
+        before = signal.getsignal(signal.SIGTERM)
+        with _GracefulShutdown() as shutdown:
+            assert signal.getsignal(signal.SIGTERM) != before
+        assert not shutdown()
+        assert signal.getsignal(signal.SIGTERM) == before
+
+
+class TestConsoleScript:
+    def test_entry_point_maps_to_cli_main(self):
+        # `pip install .` exposes `repro`; the mapping must point at a
+        # real callable even in a source-tree run.
+        import tomllib
+        from pathlib import Path
+
+        pyproject = Path(__file__).resolve().parents[1] / "pyproject.toml"
+        scripts = tomllib.loads(pyproject.read_text())["project"]["scripts"]
+        assert scripts["repro"] == "repro.cli:main"
+        module_name, _, attr = scripts["repro"].partition(":")
+        import importlib
+        assert callable(getattr(importlib.import_module(module_name), attr))
