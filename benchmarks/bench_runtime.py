@@ -18,6 +18,14 @@ sharded daemon:
   inline refresh it would *equal* it.
 * **Write-back accounting** — full vs delta saves on a thrashing LRU,
   the compact companion to ``bench_fleet_drift``'s amplification run.
+* **Batch data plane** — ``observe_many`` through the vectorized
+  :class:`repro.serve.batchplane.BatchPlane` vs the scalar per-record
+  loop on the same GEM/histogram tenant, decisions asserted identical.
+  Two regimes: the pure scoring plane (``self_update=False``, the
+  pinned >=10x claim at full scale) and a self-updating stream
+  (``batch_update_size=64``, where mid-batch detector flushes force
+  segment re-scoring and cap the win).  The result is pinned to
+  ``BENCH_runtime.json`` at the repository root.
 * **Observability overhead** — identical observe workload with the
   metrics/tracing layer on (the default) vs off.  The instrumented
   throughput must stay within 5 % of the bare runtime's, which is the
@@ -32,6 +40,7 @@ Runs standalone; ``--quick`` is the CI smoke scale.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 import tempfile
@@ -46,12 +55,15 @@ sys.path.insert(0, str(Path(__file__).parent))
 from bench_common import (RESULTS_DIR, bench_metadata,  # noqa: E402
                           write_json_result, write_result)
 
+from repro.core import GEM  # noqa: E402
 from repro.core.config import GEMConfig  # noqa: E402
 from repro.core.records import SignalRecord  # noqa: E402
 from repro.embedding.bisage import BiSAGEConfig  # noqa: E402
 from repro.eval.reporting import format_table  # noqa: E402
 from repro.pipeline import ComponentSpec, PipelineSpec  # noqa: E402
-from repro.serve import MaintenancePolicy, ServingRuntime  # noqa: E402
+from repro.serve import GeofenceFleet, MaintenancePolicy, ServingRuntime  # noqa: E402
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
 
 
 def parse_args(argv=None):
@@ -218,7 +230,68 @@ def run_writeback_accounting(args) -> dict:
 
 
 # ----------------------------------------------------------------------
-# Arm 4: observability overhead on the observe path
+# Arm 4: vectorized batch data plane vs the scalar observe loop
+# ----------------------------------------------------------------------
+def run_batch_throughput(args) -> dict:
+    """``observe_many`` (BatchPlane fast path) vs per-record ``observe``.
+
+    Both sides run at fleet level — same lock, same telemetry, same
+    reservoir bookkeeping — so the ratio isolates the data plane.  Two
+    independently provisioned fleets share the seed-pinned config, so
+    their fitted models are identical and the decision streams must
+    match exactly (the differential harness owns the bit-level proof;
+    this re-checks it on the bench mix for free).
+    """
+    n_stream = 600 if args.quick else 2000
+    chunk = 256
+    train = make_records(300, 16, seed=21)
+    stream = make_records(n_stream, 16, seed=22)
+    base = GEMConfig(bisage=BiSAGEConfig(dim=8, epochs=1, seed=0))
+    regimes = (("scoring", {"self_update": False}),
+               ("self_update", {"batch_update_size": 64}))
+
+    out = {}
+    for label, overrides in regimes:
+        config = dataclasses.replace(base, **overrides)
+
+        def make_fleet(root: str) -> GeofenceFleet:
+            fleet = GeofenceFleet(Path(root) / "m", capacity=4,
+                                  model_factory=lambda: GEM(config),
+                                  reservoir_size=16)
+            fleet.provision("t", train)
+            return fleet
+
+        with tempfile.TemporaryDirectory() as root:
+            fleet = make_fleet(root)
+            t0 = time.perf_counter()
+            scalar = [fleet.observe("t", record) for record in stream]
+            scalar_s = time.perf_counter() - t0
+            fleet.close()
+        with tempfile.TemporaryDirectory() as root:
+            fleet = make_fleet(root)
+            batch: list = []
+            t0 = time.perf_counter()
+            for start in range(0, n_stream, chunk):
+                batch.extend(fleet.observe_many(
+                    [("t", r) for r in stream[start:start + chunk]]))
+            batch_s = time.perf_counter() - t0
+            engaged = fleet.batchplane.engaged_total()
+            fleet.close()
+
+        out[label] = {
+            "records": n_stream,
+            "batch_size": chunk,
+            "scalar_obs_per_s": n_stream / scalar_s,
+            "batch_obs_per_s": n_stream / batch_s,
+            "speedup": scalar_s / batch_s,
+            "fastpath_engaged": engaged,
+            "decisions_identical": batch == scalar,
+        }
+    return out
+
+
+# ----------------------------------------------------------------------
+# Arm 5: observability overhead on the observe path
 # ----------------------------------------------------------------------
 def run_observability_overhead(args) -> dict:
     """Instrumented vs bare observe throughput, best-of-repeats.
@@ -270,6 +343,7 @@ def main(argv=None) -> int:
         "shard_scaling": run_shard_scaling(args),
         "latency": run_latency_under_refresh(args),
         "writeback": run_writeback_accounting(args),
+        "batchplane": run_batch_throughput(args),
         "observability": run_observability_overhead(args),
         "quick": args.quick,
     }
@@ -287,6 +361,12 @@ def main(argv=None) -> int:
                  f"{payload['writeback']['full_saves']['full_saves_per_tenant']:.1f}"])
     rows.append(["full saves/tenant (incremental)",
                  f"{payload['writeback']['incremental']['full_saves_per_tenant']:.1f}"])
+    for label, arm in payload["batchplane"].items():
+        rows.append([f"batch plane ({label})",
+                     f"{arm['batch_obs_per_s']:.0f} obs/s vs "
+                     f"{arm['scalar_obs_per_s']:.0f} scalar "
+                     f"({arm['speedup']:.1f}x, identical="
+                     f"{arm['decisions_identical']})"])
     obs = payload["observability"]
     rows.append(["observe throughput (bare)",
                  f"{obs['bare_obs_per_s']:.0f} obs/s"])
@@ -296,6 +376,8 @@ def main(argv=None) -> int:
     write_result("runtime", format_table(["metric", "value"], rows,
                                          title="ServingRuntime benchmark"))
     write_json_result("runtime", payload)
+    (REPO_ROOT / "BENCH_runtime.json").write_text(
+        json.dumps(payload, indent=1, sort_keys=True) + "\n")
     if args.out:
         Path(args.out).write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
         print(f"payload written to {args.out}")
@@ -314,6 +396,21 @@ def main(argv=None) -> int:
     full = payload["writeback"]["full_saves"]
     assert inc["streaming_delta_saves"] > 0
     assert inc["streaming_full_saves"] < full["streaming_full_saves"]
+    # The batch plane's pinned claims: correctness is absolute (identical
+    # decisions, fast path actually engaged); the throughput floor is
+    # 10x on the pure scoring plane at full scale, relaxed to 3x at the
+    # CI smoke scale where fixed costs dominate the short stream.
+    plane = payload["batchplane"]
+    for label, arm in plane.items():
+        assert arm["decisions_identical"], \
+            f"batch plane ({label}) diverged from the scalar loop: {arm}"
+        assert arm["fastpath_engaged"] > 0, \
+            f"batch plane ({label}) never engaged the fast path: {arm}"
+    floor = 3.0 if args.quick else 10.0
+    assert plane["scoring"]["speedup"] >= floor, \
+        f"scoring-plane speedup {plane['scoring']['speedup']:.1f}x < {floor}x: {plane}"
+    assert plane["self_update"]["speedup"] > 1.0, \
+        f"self-update regime slower than scalar: {plane}"
     # The observability default must stay near-free on the hot path.
     assert obs["overhead_pct"] < 5.0, \
         f"observability overhead {obs['overhead_pct']:.1f}% >= 5% budget: {obs}"

@@ -20,7 +20,7 @@ from repro.embedding.bisage import BiSAGE, BiSAGEConfig
 from repro.embedding.graphsage import GraphSAGE, GraphSAGEConfig
 from repro.embedding.matrix import DEFAULT_FILL_DBM, MatrixView
 from repro.embedding.mds import ClassicalMDS
-from repro.graph.bipartite import WeightedBipartiteGraph
+from repro.graph.bipartite import RECORD, WeightedBipartiteGraph
 from repro.graph.builder import build_graph
 
 __all__ = [
@@ -98,6 +98,54 @@ class _GraphEmbedderBase:
         else:
             embedding = self.model.embed_readings(record.readings) if known else None
         return embedding
+
+    # ------------------------------------------------------------------
+    # Batched inference (vectorized data plane)
+    # ------------------------------------------------------------------
+    def supports_batch_inference(self) -> bool:
+        """Whether the batch data plane may replay this embedder's records.
+
+        Requires the coordinated-maintenance regime (``refresh_every ==
+        0``): the deprecated auto-refresh can rebuild caches *mid-stream*
+        at a record count the hoisted kernel cannot observe, so those
+        configurations stay on the scalar path.
+        """
+        return (self.refresh_every == 0 and self.model is not None
+                and hasattr(self.model, "batched_inference"))
+
+    def batched_inference(self):
+        """Build the model's hoisted inference kernel (see nn/batch.py)."""
+        self._require_fitted()
+        return self.model.batched_inference()
+
+    def batch_token(self) -> tuple:
+        """Kernel-validity fingerprint; changes whenever inference would."""
+        self._require_fitted()
+        return self.model.inference_token()
+
+    def attach_prepared(self, record: SignalRecord):
+        """Attach one record and return its ``(neighbors, weights)`` arrays.
+
+        Exactly the graph-side half of ``embed(record, attach=True)`` —
+        known-check *before* the attach (attaching interns the record's
+        own MACs), permanent attach, streaming counter — with the model
+        maths left to the caller's kernel.  Returns None for the
+        footnote-3 case (no sensed MAC known).  Callers must have
+        checked :meth:`supports_batch_inference`; the ``refresh_every``
+        warning path is deliberately absent here.
+        """
+        self._require_fitted()
+        known = any(self.graph.mac_index(mac) is not None for mac in record.readings)
+        index = self.graph.add_record(record)
+        self._observed_since_refresh += 1
+        if not known:
+            return None
+        # The scalar path extends per embedded record; replicating that
+        # keeps the cache arrays byte-identical in post-stream
+        # state_dict() trees (their final size depends on which record
+        # was embedded last, not just on the batch's MAC universe).
+        self.model._extend_mac_cache()
+        return self.graph.neighbors(RECORD, index)
 
     def refresh_cache(self, admit_new_macs_after: int | None = None) -> None:
         """Rebuild per-layer caches over the grown graph, coordinated flavour.

@@ -26,6 +26,7 @@ from dataclasses import asdict, dataclass
 
 import numpy as np
 
+from repro.detection.batch import BatchScores
 from repro.detection.threshold import MinMaxNormalizer, contamination_threshold
 from repro.utils.validation import check_positive, check_positive_int, check_probability
 
@@ -85,6 +86,8 @@ class HistogramDetector:
         self._data: np.ndarray | None = None      # all absorbed normal embeddings
         self._edges: np.ndarray | None = None     # (d, m+1) bin edges
         self._counts: np.ndarray | None = None    # (d, m) frequency counts
+        self._log_density: np.ndarray | None = None  # (d, m) decision surface
+        self._oor_score: float | None = None
         self._normalizer: MinMaxNormalizer | None = None
         self._plain_threshold: float | None = None
         self.num_updates = 0
@@ -128,6 +131,13 @@ class HistogramDetector:
             padded = np.pad(counts, ((0, 0), (1, 1)), mode="edge")
             counts = 0.25 * padded[:, :-2] + 0.5 * padded[:, 1:-1] + 0.25 * padded[:, 2:]
         self._counts = counts
+        # Precomputed decision surface: scoring a sample gathers from
+        # this (d, m) log-density table instead of re-running the
+        # max/reciprocal/log chain per sample.  Each table cell is the
+        # scalar chain applied to the same count the per-sample path
+        # would have gathered, so gathered scores are bit-identical.
+        self._log_density = np.log(1.0 / np.maximum(counts, self.config.pseudo_count))
+        self._oor_score = float(np.log(1.0 / np.maximum(0.0, self.config.pseudo_count)))
         raw = self._raw_scores(data)
         self._normalizer = MinMaxNormalizer().fit(raw)
         normalized = self._normalizer.transform(raw)
@@ -151,9 +161,23 @@ class HistogramDetector:
         return out
 
     def _raw_scores(self, embeddings: np.ndarray) -> np.ndarray:
-        """Eq. 10 with a pseudo count guarding empty/out-of-range bins."""
-        counts = np.maximum(self._bin_counts(embeddings), self.config.pseudo_count)
-        return np.log(1.0 / counts).sum(axis=1)
+        """Eq. 10, gathered from the precomputed log-density surface.
+
+        The per-cell pseudo-count guard is already baked into
+        ``_log_density``; out-of-range samples take ``_oor_score``
+        (the empty-bin penalty) exactly as a zero count would have.
+        """
+        d, m = self._counts.shape
+        out = np.empty(embeddings.shape, dtype=np.float64)
+        for j in range(d):
+            edges = self._edges[j]
+            col = embeddings[:, j]
+            positions = np.searchsorted(edges, col, side="right") - 1
+            in_range = (col >= edges[0]) & (col <= edges[-1])
+            values = self._log_density[j][np.clip(positions, 0, m - 1)]
+            values[~in_range] = self._oor_score
+            out[:, j] = values
+        return out.sum(axis=1)
 
     def normalized_scores(self, embeddings: np.ndarray) -> np.ndarray:
         """Min–max normalised H̄ scores in [0, 1] (higher = more outlying)."""
@@ -189,6 +213,33 @@ class HistogramDetector:
         if not self.config.enhanced:
             return np.zeros(len(np.atleast_2d(embeddings)), dtype=bool)
         return self.enhanced_scores(embeddings) < self.config.tau_lower
+
+    # ------------------------------------------------------------------
+    # Batch scoring (vectorized data plane)
+    # ------------------------------------------------------------------
+    def supports_batch_score(self) -> bool:
+        """Histogram scoring is row-separable, so batching is bit-safe."""
+        return True
+
+    def score_batch(self, embeddings: np.ndarray) -> BatchScores:
+        """Score a whole ``(B, d)`` batch in one pass — see
+        :mod:`repro.detection.batch` for the bit-identity contract.
+
+        One ``decision_scores`` evaluation yields all three verdicts:
+        the scalar path's ``is_outlier`` / ``is_confident_inlier`` each
+        re-derive the same deterministic score before comparing, so
+        comparing the shared scores against the same cuts reproduces
+        them exactly.
+        """
+        self._require_fitted()
+        embeddings = np.atleast_2d(np.asarray(embeddings, dtype=np.float64))
+        scores = self.decision_scores(embeddings)
+        outliers = scores > self.threshold
+        if self.config.enhanced:
+            confident = scores < self.config.tau_lower
+        else:
+            confident = np.zeros(len(scores), dtype=bool)
+        return BatchScores(scores=scores, outliers=outliers, confident=confident)
 
     # ------------------------------------------------------------------
     # Online update (Sec. IV-C)

@@ -34,6 +34,7 @@ from repro.graph.sampling import NegativeSampler
 from repro.graph.walks import RandomWalker, WalkConfig, walk_pairs
 from repro.nn import (Adam, Parameter, Tensor, export_parameters, init,
                       load_parameters, no_grad, ops, spmm)
+from repro.nn.batch import SageInferenceKernel
 from repro.utils.rng import as_rng
 from repro.utils.validation import check_positive, check_positive_int
 
@@ -425,6 +426,48 @@ class BiSAGE:
             h = _l2_rows(act(np.concatenate([h, h_agg]) @ self.weights_h[k].data))
             l = _l2_rows(act(np.concatenate([l, l_agg]) @ self.weights_l[k].data))
         return h
+
+    # ------------------------------------------------------------------
+    # Batched inference (vectorized data plane)
+    # ------------------------------------------------------------------
+    def batched_inference(self) -> SageInferenceKernel:
+        """Hoisted record-inference kernel for the batch data plane.
+
+        Captures exactly what :meth:`embed_record_node` reads for a
+        RECORD-side node: the shared ``_INFERENCE_KEY`` initial row, the
+        primary weight stack, and the auxiliary MAC caches it aggregates
+        from (Eq. 3 + Eq. 8).  The auxiliary ``l`` stream is omitted —
+        the scalar loop updates it each layer but the returned primary
+        embedding never reads it back, so skipping it changes nothing.
+        Valid until :meth:`inference_token` changes.
+        """
+        self._require_fitted()
+        return SageInferenceKernel(
+            initial=self._initial_row(RECORD, _INFERENCE_KEY, "h"),
+            weights=[w.data for w in self.weights_h],
+            neighbor_caches=self._cache_lv,
+            act=_ACTIVATIONS[self.config.activation][1],
+            macs_aggregated=self._macs_aggregated,
+            mac_admitted=self._mac_admitted,
+        )
+
+    def inference_token(self) -> tuple:
+        """Identity fingerprint of everything a kernel captures.
+
+        Any event that could change inference output — refresh-commit
+        swapping the embedder, ``load_state_dict`` rebuilding weights
+        and caches, ``refresh_cache`` rebinding the cache lists, even a
+        mid-batch ``_extend_mac_cache`` rebind — produces new objects
+        here, so an ``id``-based tuple comparison catches them all
+        without hashing array contents.
+        """
+        return (
+            id(self.graph),
+            tuple(id(w) for w in self.weights_h),
+            id(self._cache_lv),
+            self._macs_aggregated,
+            id(self._mac_admitted),
+        )
 
     # ------------------------------------------------------------------
     # Persistence

@@ -26,6 +26,7 @@ from repro.graph.sampling import NegativeSampler
 from repro.graph.walks import RandomWalker, WalkConfig, walk_pairs
 from repro.nn import (Adam, Parameter, Tensor, export_parameters, init,
                       load_parameters, ops, spmm)
+from repro.nn.batch import SageInferenceKernel
 from repro.utils.rng import as_rng
 from repro.utils.validation import check_positive, check_positive_int
 
@@ -287,6 +288,31 @@ class GraphSAGE:
             agg = probabilities @ self._cache_v[k][neighbors]
             z = _l2_rows(act(np.concatenate([z, agg]) @ self.weights[k].data))
         return z
+
+    # ------------------------------------------------------------------
+    # Batched inference (vectorized data plane)
+    # ------------------------------------------------------------------
+    def batched_inference(self) -> SageInferenceKernel:
+        """Hoisted record-inference kernel (see BiSAGE.batched_inference)."""
+        self._require_fitted()
+        return SageInferenceKernel(
+            initial=self._initial_row(RECORD, _INFERENCE_KEY),
+            weights=[w.data for w in self.weights],
+            neighbor_caches=self._cache_v,
+            act=_ACTIVATIONS[self.config.activation][1],
+            macs_aggregated=self._macs_aggregated,
+            mac_admitted=self._mac_admitted,
+        )
+
+    def inference_token(self) -> tuple:
+        """Identity fingerprint of the kernel's captures (see BiSAGE)."""
+        return (
+            id(self.graph),
+            tuple(id(w) for w in self.weights),
+            id(self._cache_v),
+            self._macs_aggregated,
+            id(self._mac_admitted),
+        )
 
     # ------------------------------------------------------------------
     # Persistence

@@ -77,7 +77,12 @@ class ComponentEntry:
     ``supports_refresh`` marks components that can take part in a
     coordinated refresh — embedders exposing ``refresh_cache``,
     detectors exposing ``refit``, and standalone models exposing
-    ``refresh(records)``.
+    ``refresh(records)``.  ``supports_batch_score`` marks detectors
+    (and models built on them) whose batch scoring is bit-identical per
+    row to scalar scoring, making them eligible for the vectorized
+    batch data plane (:mod:`repro.serve.batchplane`); row-coupled
+    scorers like LOF/iForest must leave it False and stay on the scalar
+    path.
     """
 
     name: str
@@ -87,6 +92,7 @@ class ComponentEntry:
     supports_update: bool = False
     supports_state_dict: bool = True
     supports_refresh: bool = False
+    supports_batch_score: bool = False
     description: str = ""
 
 
@@ -96,7 +102,9 @@ _REGISTRY: dict[tuple[str, str], ComponentEntry] = {}
 def register_component(kind: str, name: str, factory: Callable[..., Any],
                        params: Iterable[str], *, supports_update: bool = False,
                        supports_state_dict: bool = True,
-                       supports_refresh: bool = False, description: str = "",
+                       supports_refresh: bool = False,
+                       supports_batch_score: bool = False,
+                       description: str = "",
                        replace: bool = False) -> ComponentEntry:
     """Register a component; returns the new :class:`ComponentEntry`.
 
@@ -116,6 +124,7 @@ def register_component(kind: str, name: str, factory: Callable[..., Any],
                            params=tuple(params), supports_update=supports_update,
                            supports_state_dict=supports_state_dict,
                            supports_refresh=supports_refresh,
+                           supports_batch_score=supports_batch_score,
                            description=description)
     _REGISTRY[key] = entry
     return entry
@@ -197,7 +206,7 @@ def _make_histogram(**params):
 
 register_component(
     "detector", "histogram", _make_histogram, _config_params(HistogramConfig),
-    supports_update=True, supports_refresh=True,
+    supports_update=True, supports_refresh=True, supports_batch_score=True,
     description="Enhanced histogram OD (HBOS + softmax enhancement + update)")
 register_component(
     "detector", "lof", LocalOutlierFactor, ("n_neighbors", "contamination"),
@@ -224,7 +233,7 @@ def _make_gem(**params):
 
 register_component(
     "model", "gem", _make_gem, _config_params(GEMConfig),
-    supports_update=True, supports_refresh=True,
+    supports_update=True, supports_refresh=True, supports_batch_score=True,
     description="The paper's tuned system: BiSAGE + enhanced histogram + self-update")
 register_component(
     "model", "signature-home", SignatureHome,

@@ -61,6 +61,7 @@ from repro.serve.checkpoint import (
     CheckpointError,
     last_write,
 )
+from repro.serve.batchplane import BatchPlane
 from repro.serve.registry import (
     RESERVOIR_METADATA_KEY,
     ModelRegistry,
@@ -160,6 +161,13 @@ class GeofenceFleet:
         # check at commit cannot see a *second* refresh of the same
         # model object, so overlapping refreshes are refused up front.
         self._refreshing: set[str] = set()
+        # The vectorized batch data plane: routes observe_many groups
+        # through the fused fast path where the arm allows, counts
+        # engaged/fallback outcomes, and caches inference kernels
+        # between batches (invalidated by identity token on refresh
+        # commit / reprovision / evict-reload).  Shares the fleet lock.
+        self.batchplane = BatchPlane(metrics=self.telemetry.metrics,
+                                     shard=self.telemetry.shard)
         self._lock = RLock()
 
     # ------------------------------------------------------------------
@@ -286,8 +294,9 @@ class GeofenceFleet:
             with self._lock:
                 model = self._acquire(tenant_id)
                 start = time.perf_counter()
-                batch = [model.observe(items[p][1]) for p in positions]
-                elapsed = (time.perf_counter() - start) / max(len(positions), 1)
+                batch, _ = self.batchplane.observe_batch(
+                    model, [items[p][1] for p in positions])
+                elapsed = time.perf_counter() - start
                 if any(items[p][1].readings for p in positions):
                     self._dirty.add(tenant_id)
                 for position, decision in zip(positions, batch):
@@ -295,7 +304,7 @@ class GeofenceFleet:
                         self._remember_inlier(tenant_id, items[position][1], decision)
             for position, decision in zip(positions, batch):
                 decisions[position] = decision
-                self.telemetry.record_observation(tenant_id, decision, seconds=elapsed)
+            self.telemetry.record_observations(tenant_id, batch, seconds=elapsed)
         return decisions
 
     def score(self, tenant_id: str, record: SignalRecord) -> float:

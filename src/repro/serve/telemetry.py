@@ -133,6 +133,16 @@ class FleetTelemetry:
             # (inside, outside, unembeddable) counter triples per class.
             self._class_children: dict[str, tuple] = {}
 
+    @property
+    def metrics(self):
+        """The backing MetricsRegistry (None when unmirrored)."""
+        return self._metrics
+
+    @property
+    def shard(self) -> str:
+        """Value of the ``shard`` label on mirrored series."""
+        return self._shard
+
     def _tenant(self, tenant_id: str) -> TenantStats:
         stats = self._stats.get(tenant_id)
         if stats is None:
@@ -182,6 +192,47 @@ class FleetTelemetry:
             if decision.updated:
                 self._applied.inc()
             self._op_children["observe"].observe(seconds)
+
+    def record_observations(self, tenant_id: str, decisions,
+                            seconds: float = 0.0) -> None:
+        """Fold a whole batch of decisions for one tenant.
+
+        Equivalent to ``record_observation`` per decision with the
+        per-record share of ``seconds`` (total batch seconds), but one
+        lock acquisition covers the tenant counters — on the batch data
+        plane the per-record locking would otherwise rival the scoring
+        work it measures.
+        """
+        if not decisions:
+            return
+        each = seconds / len(decisions)
+        with self._lock:
+            stats = self._tenant(tenant_id)
+            stats.observations += len(decisions)
+            for decision in decisions:
+                if decision.inside:
+                    stats.inside += 1
+                else:
+                    stats.outside += 1
+                if math.isinf(decision.score):
+                    stats.unembeddable += 1
+                if decision.buffered:
+                    stats.buffered += 1
+                if decision.updated:
+                    stats.updates_applied += 1
+            stats.observe_seconds += seconds
+        if self._metrics is not None:
+            inside, outside, unembeddable = self._decision_children(tenant_id)
+            observe = self._op_children["observe"]
+            for decision in decisions:
+                (inside if decision.inside else outside).inc()
+                if math.isinf(decision.score):
+                    unembeddable.inc()
+                if decision.buffered:
+                    self._buffered.inc()
+                if decision.updated:
+                    self._applied.inc()
+                observe.observe(each)
 
     def _record_op(self, op: str, seconds: float | None = None) -> None:
         """Mirror one lifecycle event (and optionally its latency)."""

@@ -1,0 +1,90 @@
+"""Regenerate the golden decision fixtures.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+
+Each fixture is a seed-pinned JSONL of the decisions the **scalar**
+reference path (``model.observe`` per record) produces for one arm on
+the lab world.  ``tests/test_golden_decisions.py`` then asserts the
+*vectorized* path reproduces the files byte-for-byte — so these files
+are the frozen ground truth of the batch data plane, regenerated only
+when the underlying model maths deliberately changes.
+
+Scores are serialised with ``float.hex()``: bit-exact round-trips, no
+repr-precision ambiguity.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+GOLDEN_DIR = Path(__file__).resolve().parent
+
+# One entry per fixture: (filename, arm name). "GEM" is the paper's
+# tuned BiSAGE + enhanced-histogram system; "GEM(plain-HBOS)" is the
+# same graph embedder over the plain histogram (no enhancement, no
+# self-update) — together they cover both histogram decision surfaces.
+FIXTURES = (
+    ("gem_lab_decisions.jsonl", "GEM"),
+    ("plain_hbos_lab_decisions.jsonl", "GEM(plain-HBOS)"),
+)
+
+SEED = 0
+DIM = 8
+STREAM_REPEATS = 2  # replay the test sessions twice: updates accumulate
+
+
+def lab_stream():
+    """The pinned lab-world experiment: training set + labeled stream."""
+    from repro.datasets.synthetic import generate_dataset
+    from repro.rf.scenarios import lab_scenario
+
+    dataset = generate_dataset(lab_scenario(seed=SEED), seed=SEED,
+                               train_duration_s=90.0, test_sessions=4,
+                               session_duration_s=45.0)
+    stream = [labeled.record for labeled in dataset.test] * STREAM_REPEATS
+    return dataset.train, stream
+
+
+def build_model(arm: str):
+    from repro.core.config import GEMConfig
+    from repro.embedding.bisage import BiSAGEConfig
+    from repro.eval.algorithms import arm_spec
+    from repro.pipeline import build_pipeline
+
+    gem_config = GEMConfig(bisage=BiSAGEConfig(dim=DIM, epochs=2, seed=SEED),
+                           batch_update_size=8)
+    return build_pipeline(arm_spec(arm, seed=SEED, dim=DIM, gem_config=gem_config))
+
+
+def decision_lines(decisions) -> str:
+    lines = []
+    for i, decision in enumerate(decisions):
+        lines.append(json.dumps({
+            "i": i,
+            "inside": decision.inside,
+            "score_hex": float(decision.score).hex(),
+            "confident": decision.confident,
+            "buffered": decision.buffered,
+            "updated": decision.updated,
+        }, sort_keys=True))
+    return "\n".join(lines) + "\n"
+
+
+def main() -> None:
+    train, stream = lab_stream()
+    for filename, arm in FIXTURES:
+        model = build_model(arm)
+        model.fit(train)
+        decisions = [model.observe(record) for record in stream]
+        path = GOLDEN_DIR / filename
+        path.write_text(decision_lines(decisions))
+        inside = sum(d.inside for d in decisions)
+        print(f"wrote {path.name}: {len(decisions)} decisions "
+              f"({inside} inside, arm={arm})")
+
+
+if __name__ == "__main__":
+    main()

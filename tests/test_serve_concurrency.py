@@ -2,6 +2,7 @@
 running MaintenanceScheduler (no torn decisions, telemetry conservation,
 clean shutdown)."""
 
+import copy
 import math
 import threading
 import time
@@ -121,6 +122,45 @@ class TestSwapOnCommitRefresh:
         gate.release.set()
         follow_up.join(10.0)
         assert fleet.telemetry.totals().refreshes == 2
+        fleet.close()
+
+    def test_batch_fastpath_flows_during_refresh_and_rebuilds_kernel(
+            self, tmp_path, monkeypatch):
+        """Race the vectorized plane against a parked rebuild: the batch
+        must complete (fast path engaged, lock free) while the refresh is
+        mid-build, and after the commit swap the stale kernel must be
+        replaced — post-commit batch decisions equal a scalar loop over a
+        deepcopy of the post-refresh resident model."""
+        fleet = GeofenceFleet(tmp_path / "m", capacity=4, model_factory=make_gem,
+                              reservoir_size=16)
+        fleet.provision("t", tenant_records(0))
+        gate = GatedBuild(monkeypatch)
+        result: dict = {}
+
+        def refresher():
+            result["absorbed"] = fleet.refresh("t")
+
+        thread = threading.Thread(target=refresher)
+        thread.start()
+        assert gate.entered.wait(10.0)
+        # Mid-rebuild: the batch path must serve, and engage, anyway.
+        mid = fleet.observe_many(
+            [("t", r) for r in tenant_records(0, n=8, seed_offset=9)])
+        assert len(mid) == 8 and all(d is not None for d in mid)
+        assert fleet.batchplane.engaged_total() >= 1
+        model = fleet._cache["t"]
+        stale_kernel = fleet.batchplane._kernels[model][1]
+        gate.release.set()
+        thread.join(10.0)
+        assert not thread.is_alive()
+        assert result["absorbed"] > 0
+        # Post-commit: same model object, swapped embedder — the token
+        # check must rebuild the kernel and reproduce the scalar loop.
+        reference = copy.deepcopy(fleet._cache["t"])
+        probe = tenant_records(0, n=8, seed_offset=11)
+        decisions = fleet.observe_many([("t", r) for r in probe])
+        assert fleet.batchplane._kernels[fleet._cache["t"]][1] is not stale_kernel
+        assert decisions == [reference.observe(r) for r in probe]
         fleet.close()
 
     def test_inline_refresh_requires_built_unconsumed_job(self, tmp_path):
