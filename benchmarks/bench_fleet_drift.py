@@ -29,11 +29,16 @@ through the same fleet + controller machinery:
   against both extremes — never admit (strict trained universe) and
   admit on first sight (N=1).
 * ``worst_case``: a mass ambient-AP replacement sweep (shock fractions
-  0.4 / 0.7 / **1.0 — total replacement**), where beyond a cliff
+  0.4 / 0.7 / 0.85 / **1.0 — total replacement**), where beyond a cliff
   refresh alone cannot recover because the trained MAC universe is
   simply gone; validates the ``reprovision_after`` escalation against a
-  refresh-only policy (ROADMAP open item — the measured answer is that
-  reservoir-fed escalation cannot rescue those worlds either).
+  refresh-only policy (the measured answer is that reservoir-fed
+  escalation cannot rescue those worlds either) and, in the starved
+  fractions, a **quarantine-recover** policy: a quarantine-armed fleet
+  (``quarantine_size=256``) whose :class:`RecoveryPolicy` auto-executes
+  ``reprovision_from_quarantine`` once stuck maintenance meets
+  reservoir starvation — the measured escape hatch that re-anchors the
+  trained MAC universe from rejected-but-home-anchored evidence.
 
 Runs standalone (CI smoke: ``python benchmarks/bench_fleet_drift.py
 --quick``) and writes machine-readable results next to the other
@@ -63,7 +68,8 @@ from repro.pipeline import ComponentSpec, PipelineSpec  # noqa: E402
 from repro.datasets.users import user_scenario  # noqa: E402
 from repro.rf.dynamics import APChurn, ChurnShock, DynamicsTimeline  # noqa: E402
 from repro.rf.scenarios import lab_scenario  # noqa: E402
-from repro.serve import FleetController, GeofenceFleet, MaintenancePolicy  # noqa: E402
+from repro.serve import (FleetController, GeofenceFleet,  # noqa: E402
+                         MaintenancePolicy, RecoveryPolicy)
 from repro.serve.checkpoint import MANIFEST_NAME, save_checkpoint  # noqa: E402
 from repro.serve.registry import ModelRegistry  # noqa: E402
 
@@ -259,10 +265,11 @@ def arm_harness(quick: bool, epochs: int, shock_epoch: int, fraction: float,
 
 
 def run_policy_arm(harness: DriftHarness, policy: MaintenancePolicy,
-                   label: str, spec: PipelineSpec):
+                   label: str, spec: PipelineSpec, quarantine_size: int = 0):
     with tempfile.TemporaryDirectory() as root:
         with GeofenceFleet(root, capacity=1, reservoir_size=256,
-                           incremental=True) as fleet:
+                           incremental=True,
+                           quarantine_size=quarantine_size) as fleet:
             fleet.provision("arm", harness.training_records(), spec=spec)
             controller = FleetController(fleet, policy)
             result = harness.run_fleet(fleet, "arm", label=label,
@@ -279,6 +286,7 @@ def summarise(result, shock_epoch: int) -> dict:
     return {
         "label": result.label,
         "recovery_epochs": result.recovery_after(shock_epoch),
+        "epochs_to_auc_0.9": result.time_to_auc(0.9, after_epoch=shock_epoch),
         "post_shock_mean_auc": float(sum(aucs) / len(aucs)) if aucs else None,
         "final_auc": result.epochs[-1].auc,
         "final_fpr": result.epochs[-1].fpr,
@@ -322,27 +330,47 @@ def run_worst_case_arm(args) -> dict:
     record is ever admitted to the inlier reservoir and *nothing
     reservoir-based* — refresh or reprovision — has data to recover
     from; escalation fires exactly as designed and changes nothing.
-    Recovery from a dead world needs fresh training data (an operator
-    re-provision), so the right tuning is ``reprovision_after=0`` with
-    the stuck-trigger streak surfaced as an alert instead.
+    Recovery from a dead world needs fresh training data — which is
+    exactly what the **quarantine-recover** arm supplies without an
+    operator: the fleet runs a ``quarantine_size=256`` buffer of
+    rejected-but-home-anchored scans and the policy auto-approves
+    ``reprovision_from_quarantine`` when stuck maintenance meets
+    reservoir starvation.  In the starved fractions that arm climbs the
+    wall the reservoir-fed policies cannot (the 0.85 recovery is the
+    acceptance bar pinned in ``main``); ``--quick`` keeps a single
+    0.85-fraction quarantine smoke so CI exercises the whole recovery
+    path end to end.
     """
     epochs = 5 if args.quick else 8
     shock = 2 if args.quick else 3
     spec = arm_spec()
     scenarios = {}
-    for fraction in (0.4, 0.7, 1.0):
+    for fraction in (0.4, 0.7, 0.85, 1.0):
         results = {}
-        for label, extra in (("refresh-only", {}),
-                             ("escalate-2", {"min_update_rate": 0.05,
-                                             "reprovision_after": 2})):
+        arms = [("refresh-only", {}, 0),
+                ("escalate-2", {"min_update_rate": 0.05,
+                                "reprovision_after": 2}, 0)]
+        # The quarantine arm only matters where the reservoir starves
+        # (>= 0.7); --quick trims it to the 0.85 acceptance fraction so
+        # the smoke stays cheap while still crossing recovery end to end.
+        if fraction >= 0.7 and (not args.quick or fraction == 0.85):
+            arms.append(("quarantine-recover",
+                         {"min_update_rate": 0.05}, 256))
+        for label, extra, quarantine_size in arms:
             harness = arm_harness(args.quick, epochs=epochs, shock_epoch=shock,
                                   fraction=fraction, churn=0.0)
             per_epoch_obs = len(harness.epoch_records(0))
+            if quarantine_size:
+                extra = dict(extra, recovery=RecoveryPolicy(
+                    after_stuck=2,
+                    starvation_window=max(per_epoch_obs // 2, 8),
+                    min_quarantine=24, auto=True, max_fpr=0.7))
             policy = MaintenancePolicy(check_every=max(per_epoch_obs // 4, 1),
                                        refresh_every=max(per_epoch_obs // 2, 1),
                                        min_window=max(per_epoch_obs // 4, 8),
                                        **extra)
-            result = run_policy_arm(harness, policy, label, spec)
+            result = run_policy_arm(harness, policy, label, spec,
+                                    quarantine_size=quarantine_size)
             results[label] = summarise(result, shock)
         scenarios[f"fraction-{fraction:g}"] = results
     return {"shock_epoch": shock, "epochs": epochs, "scenarios": scenarios}
@@ -390,12 +418,24 @@ def main(argv=None) -> int:
         total = payload["worst_case"]["scenarios"]["fraction-1"]
         assert beyond["escalate-2"]["actions"].get("reprovision", 0) > 0, beyond
         assert total["escalate-2"]["actions"].get("reprovision", 0) > 0, total
+        # Quarantine smoke (every scale): the recovery path must actually
+        # execute in the 0.85 starved world — evidence admitted, recovery
+        # armed, refit swapped in.
+        smoke = payload["worst_case"]["scenarios"]["fraction-0.85"]
+        assert smoke["quarantine-recover"]["actions"].get("recover", 0) > 0, smoke
         if not args.quick:
             # Pin the measured findings at the full, deterministic scale:
-            # beyond the reservoir-starvation cliff nothing recovers...
+            # beyond the reservoir-starvation cliff nothing *reservoir-fed*
+            # recovers...
             for stuck in (beyond, total):
-                assert all(p["recovery_epochs"] is None
-                           for p in stuck.values()), stuck
+                assert all(stuck[label]["recovery_epochs"] is None
+                           for label in ("refresh-only", "escalate-2")), stuck
+            # ...while quarantine recovery climbs the 0.85 wall back to a
+            # deployable detector (the PR's acceptance bar).
+            recovered = smoke["quarantine-recover"]
+            assert recovered["final_auc"] is not None \
+                and recovered["final_auc"] >= 0.9, recovered
+            assert recovered["epochs_to_auc_0.9"] is not None, recovered
             # ...below it, refresh alone recovers and escalation does not
             # beat it (it measurably hurts)...
             below = payload["worst_case"]["scenarios"]["fraction-0.4"]

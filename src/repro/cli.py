@@ -223,13 +223,22 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--registry", required=True, help="tenant registry root")
     p.add_argument("--tenants", default="all",
                    help="comma-separated tenant ids, or 'all'")
-    p.add_argument("--action", choices=["refresh", "reprovision"], default="refresh",
+    p.add_argument("--action", choices=["refresh", "reprovision", "recover"],
+                   default="refresh",
                    help="refresh: rebuild embedding caches + refit the detector "
                         "on the persisted recent-inlier reservoir (default); "
-                        "reprovision: full refit from the reservoir")
+                        "reprovision: full refit from the reservoir; "
+                        "recover: full refit from the persisted quarantine "
+                        "buffer, re-anchoring the trained MAC universe — the "
+                        "operator approval of a starvation-recovery proposal")
+    p.add_argument("--max-fpr", type=float, default=0.5, metavar="RATE",
+                   help="recover only: roll back (keep the old model) when the "
+                        "recovered model rejects more than this fraction of "
+                        "its own quarantine evidence (default 0.5)")
     p.add_argument("--dry-run", action="store_true",
-                   help="report each tenant's arm, refresh capability and "
-                        "reservoir size without touching any checkpoint")
+                   help="report each tenant's arm, refresh capability, "
+                        "reservoir and quarantine size without touching any "
+                        "checkpoint")
     p.add_argument("--json", dest="json_out", help="also write the report to this JSON file")
     return parser
 
@@ -853,8 +862,9 @@ def _cmd_obs(args) -> int:
 
 def _cmd_maintain(args) -> int:
     from repro.eval.reporting import format_table
-    from repro.serve import (RESERVOIR_METADATA_KEY, GeofenceFleet,
-                             ModelRegistry)
+    from repro.serve import (QUARANTINE_METADATA_KEY, RESERVOIR_METADATA_KEY,
+                             GeofenceFleet, ModelRegistry)
+    from repro.serve.quarantine import DEFAULT_QUARANTINE_SIZE
 
     registry = ModelRegistry(args.registry)
     known = registry.tenants()
@@ -882,23 +892,37 @@ def _cmd_maintain(args) -> int:
             spec = spec_from_manifest(manifest, state)
             reservoir = manifest.get("metadata", {}).get(RESERVOIR_METADATA_KEY) or {}
             size = len(reservoir.get("anchor", ())) + len(reservoir.get("recent", ()))
+            quarantine = manifest.get("metadata", {}).get(QUARANTINE_METADATA_KEY) or {}
+            qsize = len(quarantine.get("records", ()))
             capable = spec.supports_refresh()
             rows.append([tenant_id, spec.describe(),
-                         "yes" if capable else "no", str(size)])
+                         "yes" if capable else "no", str(size), str(qsize)])
             payload[tenant_id] = {"arm": spec.describe(),
                                   "supports_refresh": capable,
-                                  "reservoir": size}
-        print(format_table(["tenant", "arm", "refresh?", "reservoir"],
+                                  "reservoir": size,
+                                  "quarantine": qsize}
+        print(format_table(["tenant", "arm", "refresh?", "reservoir", "quarantine"],
                            rows, title=f"maintain --dry-run over {registry.root}"))
     else:
         import time as _time
-        with GeofenceFleet(registry, capacity=1) as fleet:
+        # The recover action needs a quarantine-armed fleet so the
+        # persisted buffer is restored from checkpoint metadata (a
+        # quarantine_size=0 fleet carries the metadata forward untouched
+        # but never materialises the buffer).
+        quarantine_size = DEFAULT_QUARANTINE_SIZE if args.action == "recover" else 0
+        with GeofenceFleet(registry, capacity=1,
+                           quarantine_size=quarantine_size) as fleet:
             for tenant_id in targets:
                 start = _time.perf_counter()
                 try:
                     if args.action == "refresh":
                         absorbed = fleet.refresh(tenant_id)
                         outcome = f"refit on {absorbed} inlier(s)"
+                    elif args.action == "recover":
+                        model = fleet.reprovision_from_quarantine(
+                            tenant_id, max_fpr=args.max_fpr)
+                        outcome = (f"recovered {type(model).__name__} from "
+                                   "quarantine")
                     else:
                         model = fleet.reprovision(tenant_id)
                         outcome = f"refitted {type(model).__name__} from reservoir"

@@ -110,6 +110,21 @@ class DriftResult:
                 return m.epoch - shock_epoch
         return None
 
+    def time_to_auc(self, threshold: float, after_epoch: int = 0) -> int | None:
+        """Epochs from ``after_epoch`` until AUC first reaches ``threshold``.
+
+        The recovery-latency counterpart of :meth:`recovery_after` for
+        runs with no meaningful pre-shock baseline (e.g. the worst-case
+        replacement arms, where AUC pins to 0.5 and the question is
+        *whether and how fast* quarantine recovery lifts it back).
+        Returns ``None`` when the trajectory never reaches the
+        threshold at or after ``after_epoch``.
+        """
+        for m in self.epochs:
+            if m.epoch >= after_epoch and m.auc is not None and m.auc >= threshold:
+                return m.epoch - after_epoch
+        return None
+
     def to_dict(self) -> dict:
         return {"label": self.label,
                 "epochs": [m.to_dict() for m in self.epochs],
@@ -280,10 +295,14 @@ class DriftHarness:
         the trajectory is measured.  A controller running the no-op
         policy leaves the replay bit-identical to ``controller=None``.
         The per-epoch maintenance actions land in
-        ``meta["maintenance"]``.
+        ``meta["maintenance"]``; a fleet running a quarantine
+        (``quarantine_size > 0``) additionally reports its end-of-epoch
+        quarantine depth in ``meta["quarantine_depths"]``.
         """
         epochs: list[EpochMetrics] = []
         actions_by_epoch: dict[int, list[str]] = {}
+        quarantine_depths: list[int] = []
+        track_quarantine = bool(getattr(fleet, "quarantine_size", 0))
         t0 = time.perf_counter()
         for world in self.timeline:
             records = self.epoch_records(world.epoch)
@@ -299,6 +318,11 @@ class DriftHarness:
                         actions_by_epoch.setdefault(world.epoch, []).extend(acted)
                 decisions.append(decision)
                 labels.append(item.inside)
+            if track_quarantine:
+                # Sampled before the boundary eviction: quarantine_depth
+                # reads resident state only (the buffer itself persists
+                # through the eviction in checkpoint metadata).
+                quarantine_depths.append(fleet.quarantine_depth(tenant_id))
             fleet.evict(tenant_id)
             epochs.append(_epoch_metrics(world, labels, decisions))
         meta = {"online": True, "seed": self.seed,
@@ -306,6 +330,8 @@ class DriftHarness:
                 "tenant_id": tenant_id}
         if controller is not None:
             meta["maintenance"] = {str(k): v for k, v in sorted(actions_by_epoch.items())}
+        if track_quarantine:
+            meta["quarantine_depths"] = quarantine_depths
         return DriftResult(label=label or f"fleet:{tenant_id}", epochs=epochs,
                            stream_seconds=time.perf_counter() - t0,
                            meta=meta)

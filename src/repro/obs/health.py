@@ -4,10 +4,12 @@ Each probe turns a failure mode this repo has already *measured* into a
 number with warn/critical thresholds, so an operator watches gauges
 instead of rediscovering the postmortems:
 
-* ``stuck_refresh`` — consecutive failed refresh/reprovision attempts
-  (max across tenants).  A rising streak is the precursor the ROADMAP's
-  quarantine item needs: the policy keeps asking, the reservoir keeps
-  failing to produce a usable refit.
+* ``stuck_refresh`` — consecutive stuck maintenance rounds (max across
+  tenants): refresh/reprovision attempts that failed outright, or
+  telemetry-triggered refreshes that ran yet failed to clear their
+  trigger.  Either way the policy keeps asking and the reservoir keeps
+  failing to produce a refit that helps — the arming signal the
+  quarantine recovery path consumes (``FleetController.stuck_streaks``).
 * ``reservoir_starvation`` — observations since the last *inside*
   decision, fleet-wide.  ``BENCH_fleet_drift.json``'s worst-case arm
   showed that above ~45 % ambient-AP replacement every decision goes
@@ -21,6 +23,11 @@ instead of rediscovering the postmortems:
 * ``decision_bus_depth`` — pending decisions on the busiest shard's
   bus.  Nothing bounds the bus if maintenance falls behind; depth is
   the backpressure signal a router should shed on.
+* ``quarantine_saturation`` — fill fraction of the fullest resident
+  quarantine buffer (fleets with ``quarantine_size > 0`` only).  A
+  buffer pinned at 1.0 keeps rotating evidence it never gets to use:
+  the recovery proposal is waiting on an operator, or the arming
+  thresholds never fired — either way, look before the evidence ages.
 * ``replication_lag`` — seconds between a primary's committed
   checkpoint write and its apply on the warm standby (cluster routers
   only: the target exposes ``replication_lag()``).  A growing lag means
@@ -41,9 +48,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["HealthMonitor", "ProbeResult", "STATUS_LEVELS"]
+__all__ = ["DEFAULT_STARVATION_WINDOW", "HealthMonitor", "ProbeResult",
+           "STATUS_LEVELS", "grade"]
 
 STATUS_LEVELS = {"ok": 0, "warn": 1, "critical": 2}
+
+# Warn threshold (in observations since the last inside decision) for
+# the reservoir-starvation probe; critical is twice it.  Shared with
+# RecoveryPolicy.starvation_window so the controller arms recovery with
+# the same arithmetic that turns the probe yellow.
+DEFAULT_STARVATION_WINDOW = 200
 
 
 @dataclass(frozen=True)
@@ -67,12 +81,18 @@ class ProbeResult:
                 "detail": self.detail}
 
 
-def _grade(value: float, warn_at: float, critical_at: float) -> str:
+def grade(value: float, warn_at: float, critical_at: float) -> str:
+    """Threshold grading shared by every probe — and by the controller's
+    recovery arming, so probe status and control-plane action can never
+    disagree about what counts as starving or stuck."""
     if value >= critical_at:
         return "critical"
     if value >= warn_at:
         return "warn"
     return "ok"
+
+
+_grade = grade
 
 
 class HealthMonitor:
@@ -86,10 +106,11 @@ class HealthMonitor:
 
     def __init__(self, metrics=None,
                  stuck_refresh: tuple[int, int] = (2, 4),
-                 starvation_window: int = 200,
+                 starvation_window: int = DEFAULT_STARVATION_WINDOW,
                  scheduler_staleness: tuple[float, float] = (5.0, 30.0),
                  bus_depth: tuple[int, int] = (1_000, 10_000),
-                 replication_lag: tuple[float, float] = (5.0, 30.0)):
+                 replication_lag: tuple[float, float] = (5.0, 30.0),
+                 quarantine_saturation: tuple[float, float] = (0.8, 1.0)):
         self.thresholds = {
             "stuck_refresh": (float(stuck_refresh[0]), float(stuck_refresh[1])),
             "reservoir_starvation": (float(starvation_window),
@@ -99,6 +120,8 @@ class HealthMonitor:
             "decision_bus_depth": (float(bus_depth[0]), float(bus_depth[1])),
             "replication_lag": (float(replication_lag[0]),
                                 float(replication_lag[1])),
+            "quarantine_saturation": (float(quarantine_saturation[0]),
+                                      float(quarantine_saturation[1])),
         }
         self._metrics = metrics
         if metrics is not None:
@@ -133,6 +156,11 @@ class HealthMonitor:
                 "scheduler_staleness": self._check_staleness(runtime),
                 "decision_bus_depth": self._check_bus_depth(runtime),
             })
+            # Like the replication probe, capability-gated: only fleets
+            # that run a quarantine report its saturation.
+            if any(getattr(getattr(shard, "fleet", None), "quarantine_size", 0)
+                   for shard in runtime.shards):
+                results["quarantine_saturation"] = self._check_quarantine(runtime)
         if hasattr(runtime, "replication_lag"):
             results["replication_lag"] = self._check_replication(runtime)
         if self._metrics is not None:
@@ -151,12 +179,20 @@ class HealthMonitor:
     def _check_stuck_refresh(self, runtime) -> ProbeResult:
         worst, who = 0, ""
         for shard in runtime.shards:
-            streaks = shard.controller.failed_refresh_streaks()
-            for tenant_id, streak in streaks.items():
+            controller = shard.controller
+            # stuck_streaks() folds in telemetry-triggered refreshes that
+            # ran but failed to clear their trigger — the starvation
+            # pattern where refreshes succeed mechanically on the stale
+            # anchor yet fix nothing.  Older controller stand-ins expose
+            # only the failed-refresh half.
+            getter = getattr(controller, "stuck_streaks", None) \
+                or controller.failed_refresh_streaks
+            for tenant_id, streak in getter().items():
                 if streak > worst:
                     worst, who = streak, tenant_id
-        detail = f"tenant {who!r} has {worst} consecutive failed refreshes" \
-            if worst else ""
+        detail = (f"tenant {who!r} has {worst} consecutive stuck maintenance "
+                  "rounds (failed, or triggered without clearing the trigger)"
+                  if worst else "")
         return self._result("stuck_refresh", worst, detail)
 
     def _check_starvation(self, runtime) -> ProbeResult:
@@ -193,6 +229,21 @@ class HealthMonitor:
         return self._result("decision_bus_depth", depths[worst_shard],
                             f"shard {worst_shard} has {depths[worst_shard]} "
                             "pending decisions")
+
+    def _check_quarantine(self, runtime) -> ProbeResult:
+        worst, who = 0.0, ""
+        for shard in runtime.shards:
+            fleet = getattr(shard, "fleet", None)
+            if fleet is None or not getattr(fleet, "quarantine_size", 0):
+                continue
+            for tenant_id, depth in fleet.quarantine_depths().items():
+                saturation = depth / fleet.quarantine_size
+                if saturation > worst:
+                    worst, who = saturation, tenant_id
+        detail = (f"tenant {who!r} quarantine {worst:.0%} full; a full buffer "
+                  "only rotates evidence — approve or deny its recovery"
+                  if worst else "")
+        return self._result("quarantine_saturation", worst, detail)
 
     def _check_replication(self, runtime) -> ProbeResult:
         lag = float(runtime.replication_lag())

@@ -19,8 +19,14 @@ asset:
   embeddable in a :class:`~repro.pipeline.spec.PipelineSpec`);
 * :mod:`repro.serve.controller` — the **control plane**:
   :class:`~repro.serve.controller.FleetController` executes policies
-  (coordinated refresh, re-provision, flush, idle eviction) against a
-  fleet from the decision stream;
+  (coordinated refresh, re-provision, flush, idle eviction, quarantine
+  recovery) against a fleet from the decision stream;
+* :mod:`repro.serve.quarantine` — the starvation-recovery evidence
+  store: a seed-deterministic, admission-gated
+  :class:`~repro.serve.quarantine.QuarantineBuffer` of rejected but
+  home-anchored observations, from which
+  :meth:`~repro.serve.fleet.GeofenceFleet.reprovision_from_quarantine`
+  can re-anchor a tenant whose inlier reservoir has starved;
 * :mod:`repro.serve.runtime` / :mod:`repro.serve.shard` /
   :mod:`repro.serve.scheduler` — the **serving daemon**:
   :class:`~repro.serve.runtime.ServingRuntime` hash-partitions tenants
@@ -64,10 +70,17 @@ from repro.serve.checkpoint import (
 from repro.serve.controller import FleetController
 from repro.serve.fleet import (
     DEFAULT_RESERVOIR_SIZE,
+    QUARANTINE_METADATA_KEY,
     RESERVOIR_METADATA_KEY,
     GeofenceFleet,
 )
-from repro.serve.policy import MaintenancePolicy
+from repro.serve.policy import MaintenancePolicy, RecoveryPolicy
+from repro.serve.quarantine import (
+    DEFAULT_QUARANTINE_SIZE,
+    ConsistencyGate,
+    QuarantineBuffer,
+    home_anchor_macs,
+)
 from repro.serve.registry import ModelRegistry, validate_tenant_id
 from repro.serve.runtime import ServingRuntime, shard_index
 from repro.serve.scheduler import MaintenanceScheduler
@@ -78,6 +91,8 @@ __all__ = [
     "CHECKPOINT_VERSION",
     "CheckpointError",
     "CommitInfo",
+    "ConsistencyGate",
+    "DEFAULT_QUARANTINE_SIZE",
     "DEFAULT_RESERVOIR_SIZE",
     "FleetController",
     "FleetShard",
@@ -87,12 +102,16 @@ __all__ = [
     "MaintenancePolicy",
     "MaintenanceScheduler",
     "ModelRegistry",
+    "QUARANTINE_METADATA_KEY",
+    "QuarantineBuffer",
     "RESERVOIR_METADATA_KEY",
+    "RecoveryPolicy",
     "SUPPORTED_VERSIONS",
     "ServingRuntime",
     "StateBaseline",
     "TenantStats",
     "WriteStats",
+    "home_anchor_macs",
     "last_commit",
     "last_write",
     "load_checkpoint",

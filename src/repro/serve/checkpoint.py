@@ -39,6 +39,13 @@ nonce that must match its manifest entry while each entry names its
 parent write — so a crash before the manifest commit leaves an orphan
 delta file the loader never reads (the torn tail), and a manually
 spliced or truncated chain is rejected as torn rather than replayed.
+
+User metadata rides the manifest rewrite of *every* save — full and
+delta alike — so sidecar state the fleet keeps there (the
+``fleet_reservoir`` inlier reservoir and the ``fleet_quarantine``
+recovery buffer, see :mod:`repro.serve.fleet` /
+:mod:`repro.serve.quarantine`) is always exactly as fresh as the commit
+point, with no separate persistence path to tear against the model.
 """
 
 from __future__ import annotations

@@ -203,9 +203,11 @@ class Router:
         disjoint hash slice of the tenants in it).
     num_workers:
         Worker processes to partition tenants across.
-    capacity / incremental / policy / worker_shards:
+    capacity / incremental / policy / worker_shards / quarantine_size:
         Forwarded to each worker's :class:`ServingRuntime` (capacity is
-        per worker-shard, as it is per runtime-shard).
+        per worker-shard, as it is per runtime-shard; ``quarantine_size``
+        arms per-tenant quarantine buffers for starvation recovery, 0 =
+        off).
     standby:
         Registry root (or :class:`ModelRegistry` / :class:`Follower`) to
         replicate committed writes into.  Enables delta shipping in
@@ -229,7 +231,8 @@ class Router:
                  standby: Follower | ModelRegistry | str | Path | None = None,
                  timeout: float = 30.0,
                  launcher: Callable[[WorkerConfig], object] | None = None,
-                 worker_shards: int = 1):
+                 worker_shards: int = 1,
+                 quarantine_size: int = 0):
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
         root = registry.root if isinstance(registry, ModelRegistry) \
@@ -276,7 +279,8 @@ class Router:
                     num_workers=num_workers, capacity=capacity,
                     incremental=incremental,
                     replicate=self.follower is not None,
-                    policy=policy_dict, shards=worker_shards)
+                    policy=policy_dict, shards=worker_shards,
+                    quarantine_size=quarantine_size)
                 self._links.append(self._connect(index, config))
         except BaseException:
             self.close()

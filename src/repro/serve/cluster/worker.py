@@ -70,12 +70,14 @@ class WorkerConfig:
     replicate: bool = False
     policy: dict | None = None    # MaintenancePolicy.to_dict() form
     shards: int = 1               # runtime shards inside this worker
+    quarantine_size: int = 0      # per-tenant quarantine capacity (0 = off)
 
     def to_dict(self) -> dict:
         return {"registry": self.registry, "index": self.index,
                 "num_workers": self.num_workers, "capacity": self.capacity,
                 "incremental": self.incremental, "replicate": self.replicate,
-                "policy": self.policy, "shards": self.shards}
+                "policy": self.policy, "shards": self.shards,
+                "quarantine_size": self.quarantine_size}
 
     @classmethod
     def from_dict(cls, data: dict) -> "WorkerConfig":
@@ -86,7 +88,8 @@ class WorkerConfig:
                        incremental=bool(data.get("incremental", True)),
                        replicate=bool(data.get("replicate", False)),
                        policy=data.get("policy"),
-                       shards=int(data.get("shards", 1)))
+                       shards=int(data.get("shards", 1)),
+                       quarantine_size=int(data.get("quarantine_size", 0)))
         except (KeyError, TypeError, ValueError) as error:
             raise ProtocolError(f"bad worker config: {error}") from error
 
@@ -131,7 +134,8 @@ class ClusterWorker:
         self.runtime = ServingRuntime(
             config.registry, num_shards=config.shards,
             capacity=config.capacity, incremental=config.incremental,
-            policy=policy, scheduler_interval=None, observability=False)
+            policy=policy, scheduler_interval=None, observability=False,
+            quarantine_size=config.quarantine_size)
         if config.replicate:
             self.shipper = DeltaShipper(source=f"worker-{config.index}")
             self.shipper.attach(self.runtime.registry)

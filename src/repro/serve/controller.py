@@ -9,7 +9,10 @@ self-update-buffer rate), and executes the clauses of a declarative
 telemetry-triggered **coordinated refresh** (embedding-cache rebuild +
 detector refit on the tenant's recent-inlier reservoir, one atomic
 operation), escalation to a full **re-provision**, periodic
-**write-back**, and **idle eviction** during :meth:`maintain` sweeps.
+**write-back**, **idle eviction** during :meth:`maintain` sweeps, and —
+when the policy carries a :class:`~repro.serve.policy.RecoveryPolicy` —
+quarantine-fed **recovery** from reservoir starvation, executed
+autonomously or surfaced as a pending proposal for operator approval.
 
 The controller deliberately keeps its own telemetry rather than reading
 ``fleet.telemetry``: the fleet folds an evicted tenant's counters into a
@@ -30,9 +33,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.protocols import GeofenceDecision
+from repro.obs.health import grade
 from repro.obs.tracing import maybe_span
 from repro.serve.fleet import GeofenceFleet
-from repro.serve.policy import MaintenancePolicy
+from repro.serve.policy import MaintenancePolicy, RecoveryPolicy
 from repro.serve.telemetry import FleetTelemetry, TenantStats
 
 __all__ = ["FleetController", "TenantControlState"]
@@ -50,6 +54,7 @@ class TenantControlState:
     idle_sweeps: int = 0         # consecutive maintain() sweeps with no traffic
     swept_at: int = 0            # observations at the last maintain() sweep
     failed_refresh_streak: int = 0  # consecutive failed refresh/reprovision attempts
+    last_inside_at: int = 0      # observations at the last inside decision
 
 
 class FleetController:
@@ -88,6 +93,11 @@ class FleetController:
             labels=("shard", "action")) if metrics is not None else None
         self._action_children: dict[str, object] = {}
         self._states: dict[str, TenantControlState] = {}
+        # Pending recovery proposals (tenant_id -> arming evidence) for
+        # policies with recovery.auto=False: surfaced to the operator
+        # (runtime.pending_recoveries / `repro maintain`), consumed by
+        # approve_recovery/deny_recovery.
+        self._proposals: dict[str, dict] = {}
         # Action log: (tenant_id, action) in execution order, for tests,
         # benchmarks and the CLI report.  Bounded by callers that care.
         self.actions: list[tuple[str, str]] = []
@@ -128,6 +138,11 @@ class FleetController:
             return []
         stats = self.telemetry.tenant(tenant_id)
         state = self.state(tenant_id)
+        if decision.inside:
+            # Per-tenant mirror of the fleet-wide reservoir_starvation
+            # probe: observations since the last inside decision is what
+            # recovery arming grades against the policy's window.
+            state.last_inside_at = stats.observations
         if stats.observations - state.checked_at < policy.check_every:
             return []
         actions = self._evaluate(tenant_id, policy, stats, state)
@@ -199,7 +214,14 @@ class FleetController:
              and unembeddable_rate > policy.max_unembeddable_rate)
             or (policy.min_update_rate is not None
                 and update_rate < policy.min_update_rate))
-        if scheduled or triggered:
+        recovered = self._maybe_recover(tenant_id, policy, stats, state, actions)
+        if recovered:
+            # A recovery (or its failed attempt) *is* this round's
+            # maintenance; stacking a reservoir-fed refresh on top would
+            # refit the world the recovery just replaced (or, on
+            # failure, spin on the same starved reservoir).
+            state.refreshed_at = stats.observations
+        elif scheduled or triggered:
             escalate = (triggered and policy.reprovision_after
                         and state.trigger_streak >= policy.reprovision_after)
             verb = "reprovision" if escalate else "refresh"
@@ -250,6 +272,121 @@ class FleetController:
         if actions:
             self._log(tenant_id, actions)
         return actions
+
+    def _maybe_recover(self, tenant_id: str, policy: MaintenancePolicy,
+                       stats: TenantStats, state: TenantControlState,
+                       actions: list[str]) -> bool:
+        """Arm (and maybe execute) quarantine recovery for one tenant.
+
+        Arms when the two health-probe signals fire together — the
+        stuck-maintenance streak (``stuck_refresh``) has reached
+        ``after_stuck`` and the starvation counter grades warn or worse
+        against ``starvation_window`` (the very
+        :func:`~repro.obs.health.grade` the ``reservoir_starvation``
+        probe uses) — and the quarantine holds enough evidence.  With
+        ``auto`` the recovery executes here and returns True (consuming
+        this round's maintenance slot); otherwise a pending proposal is
+        registered for the operator and False lets the normal refresh
+        arithmetic continue unchanged.
+        """
+        recovery = policy.recovery
+        if recovery is None:
+            return False
+        stuck = max(state.failed_refresh_streak, state.trigger_streak)
+        starvation = stats.observations - state.last_inside_at
+        starving = grade(starvation, recovery.starvation_window,
+                         2 * recovery.starvation_window) != "ok"
+        if stuck < recovery.after_stuck or not starving:
+            return False
+        depth = getattr(self.fleet, "quarantine_depth", lambda _t: 0)(tenant_id)
+        if depth < recovery.min_quarantine:
+            return False
+        if not recovery.auto:
+            if tenant_id not in self._proposals:
+                self._proposals[tenant_id] = {
+                    "armed_at": stats.observations, "stuck_streak": stuck,
+                    "starvation": starvation, "quarantine_depth": depth,
+                }
+                actions.append("recover-proposed")
+            return False
+        try:
+            with maybe_span(self.tracer, "maintenance", tenant=tenant_id,
+                            action="recover"):
+                self.fleet.reprovision_from_quarantine(
+                    tenant_id, max_fpr=recovery.max_fpr)
+            actions.append("recover")
+            state.trigger_streak = 0
+            state.failed_refresh_streak = 0
+            state.last_inside_at = stats.observations
+        except (TypeError, ValueError) as error:
+            # Operational, like a failed refresh: a rolled-back refit
+            # (post-recovery FPR above the guard) or a fleet stand-in
+            # without the capability.  The streak keeps climbing so the
+            # next armed evaluation tries again with fresher evidence.
+            actions.append(f"recover-failed: {error}")
+            state.failed_refresh_streak += 1
+        self._proposals.pop(tenant_id, None)
+        return True
+
+    # ------------------------------------------------------------------
+    # Recovery proposals (operator approval path)
+    # ------------------------------------------------------------------
+    def pending_recoveries(self) -> dict[str, dict]:
+        """Copy of the pending recovery proposals, by tenant."""
+        return {tenant_id: dict(proposal)
+                for tenant_id, proposal in self._proposals.items()}
+
+    def approve_recovery(self, tenant_id: str) -> None:
+        """Execute a pending recovery proposal (operator approval).
+
+        Raises ValueError when no proposal is pending, and re-raises the
+        fleet's error when the refit rolls back — either way the
+        proposal is consumed; a still-starving tenant re-proposes at its
+        next armed evaluation.
+        """
+        if tenant_id not in self._proposals:
+            raise ValueError(f"tenant {tenant_id!r} has no pending recovery "
+                             "proposal")
+        self._proposals.pop(tenant_id)
+        policy = self.policy_for(tenant_id)
+        recovery = policy.recovery if policy.recovery is not None \
+            else RecoveryPolicy()
+        with maybe_span(self.tracer, "maintenance", tenant=tenant_id,
+                        action="recover"):
+            self.fleet.reprovision_from_quarantine(tenant_id,
+                                                   max_fpr=recovery.max_fpr)
+        state = self.state(tenant_id)
+        stats = self.telemetry.tenant(tenant_id)
+        state.trigger_streak = 0
+        state.failed_refresh_streak = 0
+        state.last_inside_at = stats.observations
+        state.refreshed_at = stats.observations
+        self._log(tenant_id, ["recover"])
+
+    def deny_recovery(self, tenant_id: str) -> bool:
+        """Drop a pending proposal; True if one existed.  The tenant may
+        re-propose at its next armed evaluation — denial is a deferral,
+        not a permanent veto (policies are the place for vetoes)."""
+        return self._proposals.pop(tenant_id, None) is not None
+
+    def stuck_streaks(self) -> dict[str, int]:
+        """``{tenant_id: consecutive stuck maintenance rounds}``.
+
+        The per-tenant maximum of the failed-refresh streak and the
+        trigger streak (telemetry-triggered refreshes that ran without
+        clearing their trigger).  The second half matters for the
+        starvation wall: refreshes *succeed mechanically* there — the
+        pinned anchor still embeds under the old world — while fixing
+        nothing, so the failure shows up as an uncleared trigger, not an
+        exception.  This is the signal behind the ``stuck_refresh``
+        health probe and recovery arming; only live streaks appear.
+        """
+        out: dict[str, int] = {}
+        for tenant_id, state in self._states.items():
+            streak = max(state.failed_refresh_streak, state.trigger_streak)
+            if streak:
+                out[tenant_id] = streak
+        return out
 
     def failed_refresh_streaks(self) -> dict[str, int]:
         """``{tenant_id: consecutive failed refresh/reprovision attempts}``.

@@ -34,6 +34,16 @@ distribution in every refit.  Reservoirs travel inside the checkpoint
 metadata, so an evicted (or offline-maintained) tenant refreshes from
 exactly the records a resident one would have used.
 
+When the reservoir itself starves (every decision outside — the
+measured >45 % AP-replacement wall), a fleet with ``quarantine_size >
+0`` additionally keeps a strictly separated per-tenant
+:class:`~repro.serve.quarantine.QuarantineBuffer` of
+rejected-but-home-anchored records; :meth:`reprovision_from_quarantine`
+is the explicit, rollback-guarded recovery refit from that evidence.
+The quarantine is never an input to :meth:`refresh` — a breach cannot
+teach the detector — and quarantine-off fleets are bit-identical to
+earlier releases.
+
 Thread safety: one re-entrant lock serialises model access.  The models
 themselves are single-threaded numpy pipelines, so the lock is the
 correctness boundary, not a performance afterthought; scale-out happens
@@ -62,14 +72,21 @@ from repro.serve.checkpoint import (
     last_write,
 )
 from repro.serve.batchplane import BatchPlane
+from repro.serve.quarantine import (
+    ConsistencyGate,
+    QuarantineBuffer,
+    home_anchor_macs,
+)
 from repro.serve.registry import (
+    QUARANTINE_METADATA_KEY,
     RESERVOIR_METADATA_KEY,
     ModelRegistry,
     validate_tenant_id,
 )
 from repro.serve.telemetry import FleetTelemetry
 
-__all__ = ["DEFAULT_RESERVOIR_SIZE", "GeofenceFleet", "RESERVOIR_METADATA_KEY"]
+__all__ = ["DEFAULT_RESERVOIR_SIZE", "GeofenceFleet", "QUARANTINE_METADATA_KEY",
+           "RESERVOIR_METADATA_KEY"]
 
 # Default bound for each half (anchor / recent) of a tenant's inlier
 # reservoir; shared with `python -m repro train` so CLI-trained tenants
@@ -110,6 +127,19 @@ class GeofenceFleet:
         Incremental-mode knobs: compact with a full save after this many
         chained deltas, and whenever a delta would store more than this
         fraction of the full state's array bytes.
+    quarantine_size:
+        Bound on the per-tenant quarantine buffer of
+        rejected-but-home-anchored records (recovery evidence — see
+        :mod:`repro.serve.quarantine`).  0 (the default) disables
+        quarantine entirely: no buffer is fed, persisted or consumable,
+        and decisions are bit-identical to earlier releases.  Even
+        enabled, the quarantine never touches the decision path — the
+        admission gate scores side-effect-free augmented copies.
+    quarantine_seed / quarantine_gate:
+        Determinism seed for the buffer's reservoir sampling and
+        augmentation draws, and the admission
+        :class:`~repro.serve.quarantine.ConsistencyGate` (a default
+        gate when None and quarantine is enabled).
     """
 
     def __init__(self, registry: ModelRegistry | str, capacity: int = 8,
@@ -119,7 +149,10 @@ class GeofenceFleet:
                  incremental: bool = False,
                  max_delta_chain: int = DEFAULT_MAX_DELTA_CHAIN,
                  delta_max_fraction: float = DEFAULT_DELTA_MAX_FRACTION,
-                 tracer=None):
+                 tracer=None,
+                 quarantine_size: int = 0,
+                 quarantine_seed: int = 0,
+                 quarantine_gate: ConsistencyGate | None = None):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         if reservoir_size < 0:
@@ -128,6 +161,8 @@ class GeofenceFleet:
             raise ValueError(f"max_delta_chain must be >= 1, got {max_delta_chain}")
         if not 0.0 <= delta_max_fraction <= 1.0:
             raise ValueError(f"delta_max_fraction must be in [0, 1], got {delta_max_fraction}")
+        if quarantine_size < 0:
+            raise ValueError(f"quarantine_size must be >= 0, got {quarantine_size}")
         self.registry = registry if isinstance(registry, ModelRegistry) else ModelRegistry(registry)
         self.capacity = capacity
         self.model_factory = model_factory if model_factory is not None else GEM
@@ -140,6 +175,13 @@ class GeofenceFleet:
         self.incremental = incremental
         self.max_delta_chain = max_delta_chain
         self.delta_max_fraction = delta_max_fraction
+        self.quarantine_size = quarantine_size
+        self.quarantine_seed = quarantine_seed
+        self.quarantine_gate = quarantine_gate if quarantine_gate is not None \
+            else (ConsistencyGate() if quarantine_size else None)
+        # tenant_id -> QuarantineBuffer, resident tenants only (like the
+        # reservoir: persisted in checkpoint metadata on write-back).
+        self._quarantine: dict[str, QuarantineBuffer] = {}
         # tenant_id -> StateBaseline (incremental mode only): the image
         # of the tenant's last committed write, diffed against at the
         # next write-back.
@@ -198,6 +240,10 @@ class GeofenceFleet:
             usable = [r for r in records if r.readings]
             self._anchors[tenant_id] = usable[-self.reservoir_size:] if self.reservoir_size else []
             self._recent[tenant_id] = deque(maxlen=self.reservoir_size)
+            # A fresh provision starts with a clean slate of evidence:
+            # whatever a previous incarnation quarantined described a
+            # model that no longer exists.
+            self._quarantine.pop(tenant_id, None)
             self._save(tenant_id, model)
             self._cache[tenant_id] = model
             self._cache.move_to_end(tenant_id)
@@ -238,6 +284,7 @@ class GeofenceFleet:
             self._metadata.clear()
             self._anchors.clear()
             self._recent.clear()
+            self._quarantine.clear()
             self._baselines.clear()
 
     def __enter__(self) -> "GeofenceFleet":
@@ -263,6 +310,7 @@ class GeofenceFleet:
                 if record.readings:
                     self._dirty.add(tenant_id)
                     self._remember_inlier(tenant_id, record, decision)
+                    self._consider_quarantine(tenant_id, model, record, decision)
             self.telemetry.record_observation(tenant_id, decision, seconds=elapsed)
         return decision
 
@@ -302,6 +350,8 @@ class GeofenceFleet:
                 for position, decision in zip(positions, batch):
                     if items[position][1].readings:
                         self._remember_inlier(tenant_id, items[position][1], decision)
+                        self._consider_quarantine(tenant_id, model,
+                                                  items[position][1], decision)
             for position, decision in zip(positions, batch):
                 decisions[position] = decision
             self.telemetry.record_observations(tenant_id, batch, seconds=elapsed)
@@ -417,6 +467,80 @@ class GeofenceFleet:
             self._cache.move_to_end(tenant_id)
             self._anchors[tenant_id] = records[-self.reservoir_size:]
             self._recent[tenant_id] = deque(maxlen=self.reservoir_size)
+            # The anchor just moved; quarantined evidence keeps its place
+            # (same world, newer refit) but the home-AP anchor set must
+            # follow the new anchor records.
+            buffer = self._quarantine.get(tenant_id)
+            if buffer is not None:
+                buffer.set_home(home_anchor_macs(self._anchors[tenant_id],
+                                                 buffer.min_anchor_fraction))
+            self._dirty.add(tenant_id)
+            self._baselines.pop(tenant_id, None)
+        self.telemetry.record_reprovision(tenant_id, seconds=elapsed)
+        return fresh
+
+    def reprovision_from_quarantine(self, tenant_id: str,
+                                    max_fpr: float | None = 0.5) -> GeofenceModel:
+        """Recovery refit: rebuild the tenant's arm from its quarantine.
+
+        The escape hatch for the measured hard wall no reservoir-fed
+        action can climb (``BENCH_fleet_drift.json`` worst case): when
+        ambient-AP replacement passes ~45 %, every decision goes
+        outside, the inlier reservoir starves, and refresh/reprovision
+        refit the *old* world forever.  The quarantine holds the
+        admission-gated, rejected-but-home-anchored scans of the *new*
+        world; fitting a fresh pipeline on them re-anchors the trained
+        MAC universe where the devices actually are now.
+
+        Rollback guard (``max_fpr``): the fresh model is validated
+        *before* the swap — if it rejects more than ``max_fpr`` of the
+        very evidence set it was fitted on (the records that become the
+        retained anchor), the refit did not converge on a usable
+        in-premises model and a ValueError rolls the recovery back: the
+        pre-recovery model simply keeps serving, buffer intact, and the
+        snapshot that "rollback" restores is the state this method
+        never touched.
+
+        On success the evidence set becomes the new pinned anchor
+        (bounded by ``reservoir_size``), the recent reservoir restarts,
+        and the quarantine is cleared — evidence is consumed by exactly
+        one recovery, never recycled into the next refit.
+        """
+        with self._lock, maybe_span(self.tracer, "recover", tenant=tenant_id):
+            if not self.quarantine_size:
+                raise ValueError(
+                    f"cannot recover tenant {tenant_id!r}: this fleet runs with "
+                    "quarantine_size=0 (quarantine disabled)")
+            model = self._acquire(tenant_id)
+            buffer = self._quarantine.get(tenant_id)
+            records = list(buffer.records) if buffer is not None else []
+            if not records:
+                raise ValueError(
+                    f"tenant {tenant_id!r} has an empty quarantine buffer; "
+                    "no recovery evidence to refit from")
+            start = time.perf_counter()
+            fresh = build_pipeline(infer_spec(model))
+            fresh.fit(records)
+            if max_fpr is not None and hasattr(fresh, "predict"):
+                rejected = sum(1 for record in records
+                               if not fresh.predict(record))
+                fpr = rejected / len(records)
+                if fpr > max_fpr:
+                    raise ValueError(
+                        f"recovery for tenant {tenant_id!r} rolled back: the "
+                        f"recovered model rejects {fpr:.0%} of its own "
+                        f"{len(records)}-record anchor set (max_fpr "
+                        f"{max_fpr:g}); the pre-recovery model keeps serving")
+            elapsed = time.perf_counter() - start
+            self._cache[tenant_id] = fresh
+            self._cache.move_to_end(tenant_id)
+            self._anchors[tenant_id] = records[-self.reservoir_size:] \
+                if self.reservoir_size else []
+            self._recent[tenant_id] = deque(maxlen=self.reservoir_size)
+            buffer.clear()
+            buffer.set_home(home_anchor_macs(records,
+                                             buffer.min_anchor_fraction))
+            self._sync_quarantine_gauge()
             self._dirty.add(tenant_id)
             self._baselines.pop(tenant_id, None)
         self.telemetry.record_reprovision(tenant_id, seconds=elapsed)
@@ -427,6 +551,30 @@ class GeofenceFleet:
         with self._lock:
             self._acquire(tenant_id)
             return self._reservoir_records(tenant_id)
+
+    def quarantine(self, tenant_id: str) -> list[SignalRecord]:
+        """Copy of one tenant's quarantined recovery evidence."""
+        with self._lock:
+            self._acquire(tenant_id)
+            buffer = self._quarantine.get(tenant_id)
+            return list(buffer.records) if buffer is not None else []
+
+    def quarantine_depth(self, tenant_id: str) -> int:
+        """Resident quarantine depth for one tenant (0 if not resident).
+
+        Deliberately load-free: the control plane polls this on the
+        decision path, where a checkpoint read would be a regression.
+        """
+        with self._lock:
+            buffer = self._quarantine.get(tenant_id)
+            return buffer.depth if buffer is not None else 0
+
+    def quarantine_depths(self) -> dict[str, int]:
+        """``{tenant_id: depth}`` across resident, non-empty buffers."""
+        with self._lock:
+            return {tenant_id: buffer.depth
+                    for tenant_id, buffer in self._quarantine.items()
+                    if buffer.depth}
 
     def resident(self, tenant_id: str) -> GeofenceModel | None:
         """The tenant's model if resident, else None — no load, no LRU touch."""
@@ -454,6 +602,40 @@ class GeofenceFleet:
                 recent = deque(maxlen=self.reservoir_size)
                 self._recent[tenant_id] = recent
             recent.append(record)
+
+    def _consider_quarantine(self, tenant_id: str, model,
+                             record: SignalRecord,
+                             decision: GeofenceDecision) -> None:
+        """Quarantine feed: offer *rejected* records as recovery evidence.
+
+        The mirror image of :meth:`_remember_inlier` — outside and
+        unembeddable (+inf) decisions, i.e. exactly what the reservoir
+        refuses.  The buffer's own gates (home-AP anchor, consistency
+        under augmentation, reservoir draw) decide admission; scoring
+        augmented copies uses the model's side-effect-free ``predict``,
+        so the decision stream is untouched whether or not quarantine
+        runs.  Call with the lock held.
+        """
+        if not self.quarantine_size or decision.inside:
+            return
+        buffer = self._quarantine.get(tenant_id)
+        if buffer is None:
+            buffer = QuarantineBuffer(self.quarantine_size,
+                                      seed=self.quarantine_seed,
+                                      tenant_key=tenant_id,
+                                      gate=self.quarantine_gate)
+            buffer.set_home(home_anchor_macs(self._anchors.get(tenant_id, ()),
+                                             buffer.min_anchor_fraction))
+            self._quarantine[tenant_id] = buffer
+        outcome = buffer.consider(model, record)
+        self.telemetry.record_quarantine(outcome)
+        if outcome == "admitted":
+            self._sync_quarantine_gauge()
+
+    def _sync_quarantine_gauge(self) -> None:
+        """Mirror total resident quarantine depth.  Lock held."""
+        self.telemetry.record_quarantine_depth(
+            sum(buffer.depth for buffer in self._quarantine.values()))
 
     # ------------------------------------------------------------------
     # Introspection
@@ -489,7 +671,18 @@ class GeofenceFleet:
             # anchor a future maintaining fleet will refresh from.
             serialized = metadata.pop(RESERVOIR_METADATA_KEY, None) \
                 if self.reservoir_size else None
+            # Same carry-forward contract for the quarantine: a
+            # quarantine-off fleet leaves the persisted buffer inside the
+            # cached metadata, untouched, for a future recovering fleet.
+            serialized_quarantine = metadata.pop(QUARANTINE_METADATA_KEY, None) \
+                if self.quarantine_size else None
             self._metadata.setdefault(tenant_id, metadata)
+            if serialized_quarantine is not None and tenant_id not in self._quarantine:
+                self._quarantine[tenant_id] = QuarantineBuffer.from_state(
+                    serialized_quarantine, capacity=self.quarantine_size,
+                    seed=self.quarantine_seed, tenant_key=tenant_id,
+                    gate=self.quarantine_gate)
+                self._sync_quarantine_gauge()
             if serialized is not None and tenant_id not in self._anchors:
                 self._anchors[tenant_id] = [
                     record_from_dict(item)
@@ -529,6 +722,8 @@ class GeofenceFleet:
         # committed chain, which is exactly what it would describe.
         self._anchors.pop(tenant_id, None)
         self._recent.pop(tenant_id, None)
+        if self._quarantine.pop(tenant_id, None) is not None:
+            self._sync_quarantine_gauge()
         self._baselines.pop(tenant_id, None)
         self.telemetry.record_eviction(tenant_id)
         # Bound telemetry memory the same way: fold the evicted tenant's
@@ -554,6 +749,9 @@ class GeofenceFleet:
                     "anchor": [record_to_dict(r) for r in anchor],
                     "recent": [record_to_dict(r) for r in recent],
                 }
+            buffer = self._quarantine.get(tenant_id)
+            if buffer is not None and not buffer.dormant:
+                metadata[QUARANTINE_METADATA_KEY] = buffer.state_dict()
             if self.incremental:
                 kind, baseline = self.registry.save_incremental(
                     tenant_id, model, self._baselines.get(tenant_id),

@@ -30,7 +30,8 @@ from repro.serve.checkpoint import (
     save_incremental,
 )
 
-__all__ = ["ModelRegistry", "RESERVOIR_METADATA_KEY", "validate_tenant_id"]
+__all__ = ["ModelRegistry", "QUARANTINE_METADATA_KEY", "RESERVOIR_METADATA_KEY",
+           "validate_tenant_id"]
 
 _TENANT_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$")
 
@@ -39,6 +40,11 @@ _TENANT_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$")
 # strips it so user metadata round-trips clean; read the raw manifest to
 # see it.
 RESERVOIR_METADATA_KEY = "fleet_reservoir"
+
+# Same contract for the quarantine buffer (rejected-but-home-anchored
+# recovery evidence, see repro.serve.quarantine): persisted next to the
+# reservoir, stripped from user metadata the same way.
+QUARANTINE_METADATA_KEY = "fleet_quarantine"
 
 
 def validate_tenant_id(tenant_id: str) -> str:
@@ -162,11 +168,13 @@ class ModelRegistry:
     def metadata(self, tenant_id: str) -> dict:
         """Just the *user* metadata stored with the tenant's checkpoint.
 
-        Serve-internal keys (the fleet's inlier reservoir) are stripped;
-        :meth:`manifest` exposes the raw stored mapping.
+        Serve-internal keys (the fleet's inlier reservoir and quarantine
+        buffer) are stripped; :meth:`manifest` exposes the raw stored
+        mapping.
         """
         metadata = dict(self.manifest(tenant_id).get("metadata", {}))
         metadata.pop(RESERVOIR_METADATA_KEY, None)
+        metadata.pop(QUARANTINE_METADATA_KEY, None)
         return metadata
 
     def tenants(self) -> list[str]:

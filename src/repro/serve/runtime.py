@@ -93,6 +93,12 @@ class ServingRuntime:
         False for byte-layout compatibility with plain fleets).
     model_factory / reservoir_size / max_delta_chain / delta_max_fraction:
         Forwarded to each shard's :class:`GeofenceFleet`.
+    quarantine_size / quarantine_seed:
+        Forwarded to each shard's fleet: capacity (0 disables — the
+        default, keeping existing runtimes bit-identical) and sampling
+        seed of the per-tenant
+        :class:`~repro.serve.quarantine.QuarantineBuffer` that collects
+        admission-gated rejected evidence for starvation recovery.
     observability:
         Wire a :class:`~repro.obs.metrics.MetricsRegistry`, a
         :class:`~repro.obs.tracing.Tracer` and a
@@ -123,6 +129,8 @@ class ServingRuntime:
                  policies: dict[str, MaintenancePolicy] | None = None,
                  scheduler_interval: float | None = 0.05,
                  sweep_every: int = 20,
+                 quarantine_size: int = 0,
+                 quarantine_seed: int = 0,
                  observability: bool = True,
                  tenant_class_of: Callable[[str], str] | None = None,
                  slow_trace_threshold: float = 0.1,
@@ -168,7 +176,9 @@ class ServingRuntime:
                        policy=policy, policies=policies,
                        track_decisions=track,
                        metrics=self.metrics_registry, tracer=self.tracer,
-                       tenant_class_of=tenant_class_of)
+                       tenant_class_of=tenant_class_of,
+                       quarantine_size=quarantine_size,
+                       quarantine_seed=quarantine_seed)
             for index in range(num_shards)
         ]
         self.scheduler = MaintenanceScheduler(
@@ -280,6 +290,11 @@ class ServingRuntime:
     def reprovision(self, tenant_id: str) -> GeofenceModel:
         return self.shard_for(tenant_id).reprovision(tenant_id)
 
+    def reprovision_from_quarantine(self, tenant_id: str,
+                                    max_fpr: float | None = 0.5) -> GeofenceModel:
+        return self.shard_for(tenant_id).reprovision_from_quarantine(
+            tenant_id, max_fpr=max_fpr)
+
     def evict(self, tenant_id: str) -> bool:
         return self.shard_for(tenant_id).evict(tenant_id)
 
@@ -293,6 +308,26 @@ class ServingRuntime:
 
     def reservoir(self, tenant_id: str) -> list[SignalRecord]:
         return self.shard_for(tenant_id).fleet.reservoir(tenant_id)
+
+    def quarantine(self, tenant_id: str) -> list[SignalRecord]:
+        return self.shard_for(tenant_id).fleet.quarantine(tenant_id)
+
+    # ------------------------------------------------------------------
+    # Recovery proposals (operator surface, merged across shards)
+    # ------------------------------------------------------------------
+    def pending_recoveries(self) -> dict[str, dict]:
+        """Pending quarantine-recovery proposals across every shard's
+        controller (tenants are shard-disjoint, so a plain merge)."""
+        out: dict[str, dict] = {}
+        for shard in self.shards:
+            out.update(shard.controller.pending_recoveries())
+        return out
+
+    def approve_recovery(self, tenant_id: str) -> None:
+        self.shard_for(tenant_id).controller.approve_recovery(tenant_id)
+
+    def deny_recovery(self, tenant_id: str) -> bool:
+        return self.shard_for(tenant_id).controller.deny_recovery(tenant_id)
 
     def maintain(self) -> int:
         """One synchronous pump + sweep over every shard (serial mode).

@@ -58,7 +58,9 @@ class FleetShard:
                  policies: dict[str, MaintenancePolicy] | None = None,
                  track_decisions: bool | None = None,
                  metrics=None, tracer=None,
-                 tenant_class_of: Callable[[str], str] | None = None):
+                 tenant_class_of: Callable[[str], str] | None = None,
+                 quarantine_size: int = 0,
+                 quarantine_seed: int = 0):
         knobs = {}
         if max_delta_chain is not None:
             knobs["max_delta_chain"] = max_delta_chain
@@ -76,6 +78,8 @@ class FleetShard:
                                    telemetry=telemetry,
                                    reservoir_size=reservoir_size,
                                    incremental=incremental,
+                                   quarantine_size=quarantine_size,
+                                   quarantine_seed=quarantine_seed,
                                    tracer=tracer, **knobs)
         self.controller = FleetController(self.fleet, policy, policies,
                                           metrics=metrics, tracer=tracer,
@@ -122,6 +126,10 @@ class FleetShard:
 
     def reprovision(self, tenant_id: str) -> GeofenceModel:
         return self.fleet.reprovision(tenant_id)
+
+    def reprovision_from_quarantine(self, tenant_id: str,
+                                    max_fpr: float | None = 0.5) -> GeofenceModel:
+        return self.fleet.reprovision_from_quarantine(tenant_id, max_fpr=max_fpr)
 
     def evict(self, tenant_id: str) -> bool:
         return self.fleet.evict(tenant_id)

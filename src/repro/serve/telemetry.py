@@ -122,6 +122,19 @@ class FleetTelemetry:
                 "repro_delta_chain_length",
                 help="Delta-chain length after the most recent write-back",
                 labels=("shard",)).labels(shard=self._shard)
+            self._quarantine_admissions = metrics.counter(
+                "repro_quarantine_admissions_total",
+                help="Quarantine admission decisions by outcome "
+                     "(admitted / no-anchor / inconsistent / sampled-out)",
+                labels=("shard", "outcome"))
+            self._quarantine_depth = metrics.gauge(
+                "repro_quarantine_depth",
+                help="Rejected-but-home-anchored records held across this "
+                     "shard's resident quarantine buffers",
+                labels=("shard",)).labels(shard=self._shard)
+            # Outcome children resolved lazily (the set is closed but a
+            # quarantine-off fleet should create no series at all).
+            self._quarantine_children: dict[str, object] = {}
             # Pre-resolved histogram/lifecycle children (op label is a
             # closed set, so resolve once and index by op string).
             ops = ("observe", "load", "save", "delta_save", "evict",
@@ -281,6 +294,25 @@ class FleetTelemetry:
             stats.reprovisions += 1
             stats.refresh_seconds += seconds
         self._record_op("reprovision", seconds)
+
+    def record_quarantine(self, outcome: str) -> None:
+        """Mirror one quarantine admission decision (metrics-only: the
+        buffer itself is the source of truth for depth, and
+        :class:`TenantStats` keeps its shape)."""
+        if self._metrics is None:
+            return
+        child = self._quarantine_children.get(outcome)
+        if child is None:
+            child = self._quarantine_admissions.labels(shard=self._shard,
+                                                       outcome=outcome)
+            self._quarantine_children[outcome] = child
+        child.inc()
+
+    def record_quarantine_depth(self, depth: int) -> None:
+        """Mirror the shard-wide resident quarantine depth."""
+        if self._metrics is None:
+            return
+        self._quarantine_depth.set(depth)
 
     def record_write_stats(self, kind: str, nbytes: int, chain_length: int) -> None:
         """Mirror checkpoint write accounting (metrics-only; no
