@@ -194,7 +194,16 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="in-process worker threads instead of subprocesses "
                         "(debugging; same protocol, no fork)")
     p.add_argument("--metrics-out", metavar="PATH",
-                   help="append router metrics snapshots (JSONL) to this file")
+                   help="append merged cluster metrics snapshots (JSONL) to "
+                        "this file: worker registries folded at the router, "
+                        "every family also labeled per worker")
+    p.add_argument("--metrics-interval", type=float, default=5.0, metavar="S",
+                   help="seconds between cluster metrics snapshots (with "
+                        "--metrics-out; default 5, the runtime daemon's "
+                        "cadence)")
+    p.add_argument("--health", action="store_true",
+                   help="print the graded cluster health rollup (folded "
+                        "probes + per-worker detail) after the replay")
     p.add_argument("--quick", action="store_true",
                    help="self-contained smoke run: tiny synthetic world, "
                         "temp registry, generated events")
@@ -207,8 +216,11 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="render a metrics snapshot (JSON, or JSONL as "
                                 "written by --metrics-out) as a summary table "
                                 "or Prometheus text exposition")
-    r.add_argument("path", help="metrics snapshot file: a JSON object, or "
-                                "JSONL where the last line wins (see --line)")
+    r.add_argument("path", nargs="+",
+                   help="metrics snapshot file: a JSON object, or JSONL "
+                        "where the last line wins (see --line); with --diff, "
+                        "one file (first line vs --line) or two files "
+                        "(earlier, later)")
     r.add_argument("--format", choices=["summary", "prometheus", "json"],
                    default="summary",
                    help="summary: latency/counter/health tables (default); "
@@ -216,6 +228,10 @@ def _build_parser() -> argparse.ArgumentParser:
     r.add_argument("--line", type=int, default=0, metavar="N",
                    help="1-based JSONL line to render; 0 or negative index "
                         "from the end (default: last line)")
+    r.add_argument("--diff", action="store_true",
+                   help="counter deltas and per-second rates between two "
+                        "snapshots instead of absolute values (rates need "
+                        "the 'at' timestamps --metrics-out records)")
     r.add_argument("-o", "--out", help="write to this file instead of stdout")
 
     p = sub.add_parser("maintain",
@@ -708,7 +724,8 @@ def _cmd_cluster(args) -> int:
         dumper = None
         if args.metrics_out:
             from repro.obs import MetricsDumper
-            dumper = MetricsDumper(router.metrics, args.metrics_out)
+            dumper = MetricsDumper(router.metrics, args.metrics_out,
+                                   interval=args.metrics_interval)
         with _GracefulShutdown() as shutdown, router:
             if dumper is not None:
                 dumper.start()
@@ -723,7 +740,9 @@ def _cmd_cluster(args) -> int:
                                         out_handle, should_stop=shutdown)
                 router.maintain()
                 flushed = router.flush()
+                cluster_stats = router.stats()
                 worker_stats = router.worker_stats()
+                health = router.health_report() if args.health else None
                 replication = router.replication_stats()
                 report = router.promote() if args.promote else None
             finally:
@@ -734,10 +753,19 @@ def _cmd_cluster(args) -> int:
                   "workers flushed and shut down", file=sys.stderr)
         print(f"served {served} events across {args.workers} worker(s); "
               f"flushed {flushed} tenant(s)", file=sys.stderr)
+        totals = cluster_stats["totals"]
+        print(f"cluster totals: {cluster_stats['requests']} request(s), "
+              f"{totals['observations']} observation(s), "
+              f"{cluster_stats['resident']} resident tenant(s), "
+              f"{cluster_stats['busy_seconds']:.2f}s busy across "
+              f"{cluster_stats['live_workers']} live worker(s)",
+              file=sys.stderr)
         for stats in worker_stats:
             print(f"worker {stats['worker']} (pid {stats['pid']}): "
                   f"{stats['requests']} request(s), "
                   f"{stats['busy_seconds']:.2f}s busy", file=sys.stderr)
+        if health is not None:
+            print(_format_cluster_health(health), file=sys.stderr)
         if replication is not None:
             print(f"replication: {replication['applied']} applied, "
                   f"{replication['skipped']} skipped, "
@@ -757,6 +785,23 @@ def _cmd_cluster(args) -> int:
         if scratch is not None:
             scratch.cleanup()
     return 0
+
+
+def _format_cluster_health(report: dict) -> str:
+    """The ``--health`` table: folded probes, then per-worker rows."""
+    from repro.eval.reporting import format_table
+    rows = [["cluster" if name != "replication_lag" else "router",
+             name, probe.get("status", "?"), f"{probe.get('value', 0):.6g}",
+             str(probe.get("detail", ""))[:44] or "-"]
+            for name, probe in sorted(report.get("probes", {}).items())]
+    for worker in sorted(report.get("workers", {})):
+        for name, probe in sorted(report["workers"][worker].items()):
+            rows.append([worker, name, probe.get("status", "?"),
+                         f"{probe.get('value', 0):.6g}",
+                         str(probe.get("detail", ""))[:44] or "-"])
+    return format_table(
+        ["worker", "probe", "status", "value", "detail"], rows,
+        title=f"Cluster health: {report.get('status', '?')}")
 
 
 def _load_metrics_snapshot(path: Path, line: int) -> dict:
@@ -824,14 +869,23 @@ def _summarise_metrics(snapshot: dict) -> str:
             rows, title="Health probes"))
     traces = snapshot.get("traces")
     if isinstance(traces, dict) and traces.get("slow_traces"):
-        rows = [[trace.get("name", "?"),
-                 f"{(trace.get('seconds') or 0.0) * 1e3:.2f}",
-                 str(len(trace.get("children", ()))),
-                 ",".join(f"{k}={v}" for k, v in
-                          sorted(trace.get("attrs", {}).items()))[:44] or "-"]
-                for trace in traces["slow_traces"]]
+        rows: list[list[str]] = []
+
+        def _walk(span: dict, depth: int) -> None:
+            # Indented tree rows: a cluster snapshot shows the worker
+            # subtree stitched under the router span that caused it.
+            rows.append([("  " * depth) + str(span.get("name", "?")),
+                         f"{(span.get('seconds') or 0.0) * 1e3:.2f}",
+                         ",".join(f"{k}={v}" for k, v in
+                                  sorted(span.get("attrs", {}).items()))[:44]
+                         or "-"])
+            for child in span.get("children", ()):
+                _walk(child, depth + 1)
+
+        for trace in traces["slow_traces"]:
+            _walk(trace, 0)
         sections.append(format_table(
-            ["span", "ms", "children", "attrs"], rows,
+            ["span", "ms", "attrs"], rows,
             title=f"Slow traces (threshold "
                   f"{traces.get('slow_threshold', 0.0):.3g}s)"))
     if not sections:
@@ -839,19 +893,67 @@ def _summarise_metrics(snapshot: dict) -> str:
     return "\n\n".join(sections)
 
 
+def _summarise_diff(diff: dict) -> str:
+    from repro.eval.reporting import format_table
+    rows = []
+    for name in sorted(diff.get("families", {})):
+        family = diff["families"][name]
+        for series in family.get("series", ()):
+            delta = series.get("delta", 0)
+            value = series.get("value")
+            if not delta and value is None:
+                continue              # unchanged counter/histogram: noise
+            rate = series.get("rate")
+            label_text = ",".join(f"{k}={v}" for k, v in
+                                  sorted(series.get("labels", {}).items()))
+            rows.append([name, family.get("type", "?"), label_text or "-",
+                         f"{delta:.6g}",
+                         "--" if rate is None else f"{rate:.6g}",
+                         "--" if value is None else f"{value:.6g}"])
+    if not rows:
+        return "(no changes between the snapshots)"
+    interval = diff.get("interval_seconds")
+    title = "Snapshot deltas" if not interval \
+        else f"Snapshot deltas over {interval:.2f}s"
+    return format_table(["metric", "type", "labels", "delta", "rate/s",
+                         "value"], rows, title=title)
+
+
 def _cmd_obs(args) -> int:
-    from repro.obs import render_prometheus, snapshot_to_json
-    path = Path(args.path)
-    if not path.is_file():
-        print(f"error: no such metrics file: {path}", file=sys.stderr)
+    from repro.obs import diff_snapshots, render_prometheus, snapshot_to_json
+    paths = [Path(p) for p in args.path]
+    for path in paths:
+        if not path.is_file():
+            print(f"error: no such metrics file: {path}", file=sys.stderr)
+            return 2
+    if len(paths) > 2 or (len(paths) == 2 and not args.diff):
+        print("error: pass one snapshot file, or two with --diff",
+              file=sys.stderr)
         return 2
-    snapshot = _load_metrics_snapshot(path, args.line)
-    if args.format == "prometheus":
-        text = render_prometheus(snapshot)
-    elif args.format == "json":
-        text = snapshot_to_json(snapshot) + "\n"
+    if args.diff:
+        if args.format == "prometheus":
+            print("error: --diff has no Prometheus exposition form "
+                  "(rates are what a real scraper computes server-side)",
+                  file=sys.stderr)
+            return 2
+        if len(paths) == 2:
+            earlier = _load_metrics_snapshot(paths[0], args.line)
+            later = _load_metrics_snapshot(paths[1], args.line)
+        else:
+            # One JSONL trail: first snapshot vs the --line selection.
+            earlier = _load_metrics_snapshot(paths[0], 1)
+            later = _load_metrics_snapshot(paths[0], args.line)
+        diff = diff_snapshots(earlier, later)
+        text = snapshot_to_json(diff) + "\n" if args.format == "json" \
+            else _summarise_diff(diff) + "\n"
     else:
-        text = _summarise_metrics(snapshot) + "\n"
+        snapshot = _load_metrics_snapshot(paths[0], args.line)
+        if args.format == "prometheus":
+            text = render_prometheus(snapshot)
+        elif args.format == "json":
+            text = snapshot_to_json(snapshot) + "\n"
+        else:
+            text = _summarise_metrics(snapshot) + "\n"
     if args.out:
         Path(args.out).write_text(text)
         print(f"wrote {args.out}")

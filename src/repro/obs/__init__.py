@@ -16,15 +16,29 @@ near-free on the observe path and zero-dependency:
   JSON snapshots + the opt-in :class:`MetricsDumper` JSONL recorder;
 * :mod:`repro.obs.health` — :class:`HealthMonitor` probes turning
   measured failure modes (stuck refresh streaks, reservoir starvation,
-  scheduler staleness, decision-bus depth) into thresholded gauges.
+  scheduler staleness, decision-bus depth) into thresholded gauges;
+* :mod:`repro.obs.cluster` — the cluster fold: merge per-worker
+  snapshots (counters sum, gauges sum/max, histograms fold), stitch
+  router→worker span trees, and roll worker health + liveness +
+  replication lag into one graded :class:`ClusterHealthMonitor` report.
 
-:class:`~repro.serve.runtime.ServingRuntime` wires all four together
-(``observability=True`` by default); ``runtime.metrics()`` /
-``runtime.export_prometheus()`` are the read surfaces.
+:class:`~repro.serve.runtime.ServingRuntime` wires the per-process
+layers together (``observability=True`` by default) and the cluster
+:class:`~repro.serve.cluster.Router` aggregates them;
+``runtime.metrics()`` / ``runtime.export_prometheus()`` and their
+router counterparts are the read surfaces.
 """
 
+from repro.obs.cluster import (
+    ClusterHealthMonitor,
+    cluster_families,
+    gauge_merge_mode,
+    merge_worker_snapshots,
+    stitch_traces,
+)
 from repro.obs.export import (
     MetricsDumper,
+    diff_snapshots,
     histogram_percentiles,
     render_prometheus,
     snapshot_from_json,
@@ -39,11 +53,13 @@ from repro.obs.metrics import (
     MetricFamily,
     MetricsRegistry,
     bucket_quantile,
+    merged_family,
     merged_histogram,
 )
 from repro.obs.tracing import Span, Tracer, maybe_span
 
 __all__ = [
+    "ClusterHealthMonitor",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
     "Gauge",
@@ -57,8 +73,13 @@ __all__ = [
     "Span",
     "Tracer",
     "bucket_quantile",
+    "cluster_families",
+    "diff_snapshots",
+    "gauge_merge_mode",
     "histogram_percentiles",
     "maybe_span",
+    "merge_worker_snapshots",
+    "merged_family",
     "merged_histogram",
     "render_prometheus",
     "snapshot_from_json",

@@ -31,6 +31,7 @@ from repro.obs.metrics import bucket_quantile
 
 __all__ = [
     "MetricsDumper",
+    "diff_snapshots",
     "histogram_percentiles",
     "render_prometheus",
     "snapshot_from_json",
@@ -114,6 +115,67 @@ def histogram_percentiles(entry: Mapping, quantiles=(0.5, 0.9, 0.99)) -> dict[st
         previous = value
     return {f"p{int(q * 100)}": bucket_quantile(bounds, counts, q)
             for q in quantiles}
+
+
+def _series_key(labels: Mapping) -> tuple:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def diff_snapshots(earlier: Mapping, later: Mapping) -> dict:
+    """Counter deltas and interval rates between two metrics snapshots.
+
+    Both arguments accept the same shapes as :func:`render_prometheus`
+    (bare families dict, a full ``runtime.metrics()`` dict, or a
+    :class:`MetricsDumper` JSONL line — whose ``"at"`` timestamps, when
+    present on both sides, supply the interval for per-second rates).
+    Series are matched by label set; a series absent from ``earlier``
+    diffs against zero, so a freshly-started dump still yields totals.
+
+    Counters and histogram counts report ``delta`` (and ``rate`` when an
+    interval is known); a negative counter delta means the process
+    restarted between the snapshots and is reported as-is rather than
+    clamped.  Gauges report the current value alongside the delta, since
+    a gauge delta without its level is rarely actionable.
+    """
+    fam_a, fam_b = _families_of(earlier), _families_of(later)
+    at_a, at_b = earlier.get("at"), later.get("at")
+    interval: float | None = None
+    if isinstance(at_a, (int, float)) and isinstance(at_b, (int, float)):
+        interval = float(at_b) - float(at_a)
+    def rate(delta: float) -> float | None:
+        return delta / interval if interval and interval > 0 else None
+    families: dict[str, dict] = {}
+    for name in sorted(fam_b):
+        family = fam_b[name]
+        if not isinstance(family, Mapping) or "type" not in family:
+            continue
+        kind = family["type"]
+        previous = {}
+        before = fam_a.get(name)
+        if isinstance(before, Mapping) and before.get("type") == kind:
+            previous = {_series_key(entry.get("labels", {})): entry
+                        for entry in before["series"]}
+        series = []
+        for entry in family["series"]:
+            labels = entry.get("labels", {})
+            prior = previous.get(_series_key(labels))
+            row: dict = {"labels": dict(labels)}
+            if kind == "histogram":
+                count_before = prior["count"] if prior else 0
+                sum_before = prior["sum"] if prior else 0.0
+                row["delta"] = entry["count"] - count_before
+                row["delta_sum"] = entry["sum"] - sum_before
+                row["rate"] = rate(row["delta"])
+            else:
+                value_before = prior["value"] if prior else 0.0
+                row["delta"] = entry["value"] - value_before
+                if kind == "gauge":
+                    row["value"] = entry["value"]
+                else:
+                    row["rate"] = rate(row["delta"])
+            series.append(row)
+        families[name] = {"type": kind, "series": series}
+    return {"interval_seconds": interval, "families": families}
 
 
 def snapshot_to_json(snapshot: Mapping) -> str:

@@ -80,6 +80,15 @@ class ProbeResult:
                 "warn_at": self.warn_at, "critical_at": self.critical_at,
                 "detail": self.detail}
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "ProbeResult":
+        """Inverse of :meth:`as_dict` — how probe results shipped across
+        the cluster protocol come back to life on the router."""
+        return cls(probe=data["probe"], value=float(data["value"]),
+                   status=data["status"], warn_at=float(data["warn_at"]),
+                   critical_at=float(data["critical_at"]),
+                   detail=data.get("detail", ""))
+
 
 def grade(value: float, warn_at: float, critical_at: float) -> str:
     """Threshold grading shared by every probe — and by the controller's

@@ -37,6 +37,7 @@ __all__ = [
     "MetricFamily",
     "MetricsRegistry",
     "bucket_quantile",
+    "merged_family",
     "merged_histogram",
 ]
 
@@ -148,6 +149,23 @@ class Histogram:
             self._counts[index] += 1
             self._sum += value
             self._count += 1
+
+    def observe_repeated(self, value: float, count: int) -> None:
+        """Fold ``count`` identical samples in one locked update.
+
+        The batch data plane attributes a batch's elapsed time evenly
+        across its records; all those samples share a bucket, so one
+        lock acquisition replaces ``count`` of them.
+        """
+        if count < 0:
+            raise ValueError(f"sample count cannot be negative; got {count}")
+        if count == 0:
+            return
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[index] += count
+            self._sum += value * count
+            self._count += count
 
     @property
     def count(self) -> int:
@@ -347,3 +365,59 @@ def merged_histogram(snapshots: Iterable[Mapping]) -> dict:
     if merged_buckets is None:
         raise ValueError("no histogram series to merge")
     return {"buckets": merged_buckets, "sum": total_sum, "count": total_count}
+
+
+def merged_family(families: Sequence[Mapping], gauge_mode: str = "sum") -> dict:
+    """Fold several snapshot-form families of one metric into one.
+
+    All inputs must agree on type and label names (they come from the
+    same registration call replicated across processes).  Series are
+    matched by label values: counters sum, gauges sum or take the max
+    per ``gauge_mode`` (``"max"`` for level-style gauges like ages and
+    lags, where adding process-local readings is meaningless), and
+    histograms fold through :func:`merged_histogram`.  Label sets
+    present in only some inputs pass through — a worker that never
+    touched a shard simply contributes nothing to that series.
+
+    Folding a single family returns a snapshot identical to the input
+    (same series order, same value types), which is what makes a
+    one-worker cluster's merged export byte-for-byte its worker's own.
+    """
+    families = list(families)
+    if not families:
+        raise ValueError("no families to merge (empty worker set?)")
+    if gauge_mode not in ("sum", "max"):
+        raise ValueError(f"gauge_mode must be 'sum' or 'max', got {gauge_mode!r}")
+    first = families[0]
+    kind = first["type"]
+    label_names = list(first["labels"])
+    for other in families[1:]:
+        if other["type"] != kind or list(other["labels"]) != label_names:
+            raise ValueError(
+                f"cannot merge family snapshots with mismatched shape: "
+                f"{kind}/{label_names} vs {other['type']}/{list(other['labels'])}")
+    grouped: dict[tuple[str, ...], list[Mapping]] = {}
+    for family in families:
+        for entry in family["series"]:
+            key = tuple(str(entry["labels"][name]) for name in label_names)
+            grouped.setdefault(key, []).append(entry)
+    series: list[dict] = []
+    for key in sorted(grouped):
+        entries = grouped[key]
+        merged: dict = {"labels": dict(zip(label_names, key))}
+        if kind == "histogram":
+            merged.update(merged_histogram(entries))
+        else:
+            values = [entry["value"] for entry in entries]
+            if kind == "gauge" and gauge_mode == "max":
+                merged["value"] = max(values)
+            elif len(values) == 1:
+                merged["value"] = values[0]   # keep the exact input value
+            else:
+                merged["value"] = sum(values)
+        series.append(merged)
+    out: dict = {"type": kind, "help": first.get("help", ""),
+                 "labels": label_names, "series": series}
+    if kind == "histogram":
+        out["bounds"] = list(first["bounds"])
+    return out

@@ -4,10 +4,17 @@
 spans opened while another is active on the same thread nest under it,
 so an observe that triggers a write-back, or a refresh whose rebuild
 and commit phases are timed separately, yields one tree with the
-breakdown attached.  No ids, no propagation, no export protocol — the
-point is post-hoc inspection inside one process, at a cost low enough
-to leave on in production (two clock reads and a few attribute writes
-per span).
+breakdown attached.  The cost stays low enough to leave on in
+production (two clock reads and a few attribute writes per span).
+
+Cross-process propagation is opt-in and minimal: a caller that wants a
+span to be joinable from another process asks :meth:`Tracer.inject` for
+its ``{"trace_id", "span_id"}`` context and ships that dict however it
+likes (the cluster router puts it in the request frame header); the
+remote side opens its root with ``tracer.span(name, context=ctx)``,
+which stamps ``trace_id``/``parent_id`` onto the span so the two sides
+can be stitched back into one tree after the fact.  Ids are assigned
+lazily — spans that never cross a process boundary pay nothing.
 
 Completed *root* spans update a per-name aggregate (count + seconds);
 roots slower than ``slow_threshold`` seconds additionally enter a
@@ -22,10 +29,12 @@ shared under one lock taken only at root completion, never per-span.
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from collections import deque
 from contextlib import contextmanager, nullcontext
+from typing import Mapping
 
 __all__ = ["Span", "Tracer", "maybe_span"]
 
@@ -34,15 +43,17 @@ __all__ = ["Span", "Tracer", "maybe_span"]
 _NULL_SPAN = nullcontext(None)
 
 
-def maybe_span(tracer: "Tracer | None", name: str, **attrs):
+def maybe_span(tracer: "Tracer | None", name: str,
+               context: Mapping | None = None, **attrs):
     """``tracer.span(...)`` when tracing is on, a shared no-op otherwise."""
-    return _NULL_SPAN if tracer is None else tracer.span(name, **attrs)
+    return _NULL_SPAN if tracer is None else tracer.span(name, context=context, **attrs)
 
 
 class Span:
     """One timed operation; children are spans opened while it ran."""
 
-    __slots__ = ("name", "attrs", "started_at", "duration", "children")
+    __slots__ = ("name", "attrs", "started_at", "duration", "children",
+                 "trace_id", "span_id", "parent_id")
 
     def __init__(self, name: str, attrs: dict):
         self.name = name
@@ -50,9 +61,18 @@ class Span:
         self.started_at = time.perf_counter()
         self.duration: float | None = None
         self.children: list["Span"] = []
+        self.trace_id: str | None = None
+        self.span_id: str | None = None
+        self.parent_id: str | None = None
 
     def to_dict(self) -> dict:
         out: dict = {"name": self.name, "seconds": self.duration}
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
+        if self.span_id is not None:
+            out["span_id"] = self.span_id
+        if self.parent_id is not None:
+            out["parent_id"] = self.parent_id
         if self.attrs:
             out["attrs"] = {key: str(value) for key, value in sorted(self.attrs.items())}
         if self.children:
@@ -69,18 +89,26 @@ class Tracer:
         Root spans at least this many seconds long enter the ring.
     ring_size:
         Bound on retained slow traces (oldest evicted first).
+    trace_prefix:
+        Prepended to generated span ids so ids minted by different
+        processes (router vs worker N) never collide after stitching.
     """
 
-    def __init__(self, slow_threshold: float = 0.1, ring_size: int = 64):
+    def __init__(self, slow_threshold: float = 0.1, ring_size: int = 64,
+                 trace_prefix: str = ""):
         if slow_threshold < 0:
             raise ValueError(f"slow_threshold must be >= 0, got {slow_threshold}")
         if ring_size < 1:
             raise ValueError(f"ring_size must be >= 1, got {ring_size}")
         self.slow_threshold = slow_threshold
+        self.trace_prefix = trace_prefix
         self._local = threading.local()
         self._lock = threading.Lock()
         self._ring: "deque[dict]" = deque(maxlen=ring_size)
         self._aggregate: dict[str, list[float]] = {}   # name -> [count, seconds]
+        # itertools.count.__next__ is atomic under the GIL, so id
+        # generation needs no lock even with concurrent injectors.
+        self._ids = itertools.count(1)
 
     def _stack(self) -> list[Span]:
         stack = getattr(self._local, "stack", None)
@@ -89,9 +117,16 @@ class Tracer:
         return stack
 
     @contextmanager
-    def span(self, name: str, **attrs):
+    def span(self, name: str, context: Mapping | None = None, **attrs):
         stack = self._stack()
         span = Span(name, attrs)
+        if context is not None:
+            trace_id = context.get("trace_id")
+            parent_id = context.get("span_id")
+            if trace_id is not None:
+                span.trace_id = str(trace_id)
+            if parent_id is not None:
+                span.parent_id = str(parent_id)
         stack.append(span)
         try:
             yield span
@@ -115,6 +150,23 @@ class Tracer:
                 trace = span.to_dict()
                 trace["recorded_at"] = time.time()
                 self._ring.append(trace)
+
+    def inject(self, span: Span) -> dict[str, str]:
+        """Mint ids for ``span`` and return its propagation context.
+
+        The returned ``{"trace_id", "span_id"}`` dict is what a remote
+        process should pass as ``context=`` when opening the span that
+        logically continues this one.  A span without a trace id starts
+        a new trace rooted at itself; repeated injection of the same
+        span is idempotent.
+        """
+        if span.span_id is None:
+            suffix = str(next(self._ids))
+            span.span_id = (f"{self.trace_prefix}-{suffix}"
+                            if self.trace_prefix else suffix)
+        if span.trace_id is None:
+            span.trace_id = span.span_id
+        return {"trace_id": span.trace_id, "span_id": span.span_id}
 
     def current(self) -> Span | None:
         """The innermost open span on this thread, if any."""

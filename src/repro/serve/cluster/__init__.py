@@ -15,6 +15,12 @@ The scale-out layer above :class:`~repro.serve.runtime.ServingRuntime`:
   committed checkpoint writes into a warm standby registry, plus
   ``promote()`` for failover.
 
+The router is also the cluster's observability endpoint: it merges
+per-worker metric snapshots, grades cluster health, and stitches
+cross-process trace trees (see :mod:`repro.obs.cluster`) behind
+``Router.metrics()`` / ``Router.health_report()`` /
+``Router.export_prometheus()``.
+
 Decisions through a cluster are bit-identical to the single-process
 runtime: tenants are process-disjoint, each worker serves serially, and
 the wire codec round-trips floats exactly (``BENCH_cluster.json`` pins

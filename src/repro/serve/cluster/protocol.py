@@ -29,7 +29,16 @@ Message types
     ``request`` carries a caller-chosen ``id`` echoed by the matching
     ``response`` (``ok`` True with ``result``, or False with
     ``error: {kind, message}``), so responses can interleave with
-    unsolicited frames.
+    unsolicited frames.  Since version 2 a request header may carry an
+    optional ``trace`` object (``{"trace_id", "span_id"}``, minted by
+    the router's tracer): the worker opens its root span under that
+    context so the two halves stitch back into one cross-process tree.
+    Version 2 also adds two observability ops — ``obs_snapshot``
+    (the worker's canonical ``runtime.metrics()`` dict: families,
+    health, slow traces; ``None`` when the worker runs with
+    observability off) and ``health`` (the worker's probe results as
+    ``ProbeResult.as_dict()`` mappings) — both read-only and safe to
+    fan out while requests are in flight.
 ``replicate``
     Worker -> router, unsolicited: one committed checkpoint write
     (see :class:`~repro.serve.cluster.replicate.ShippedWrite`), the
@@ -63,7 +72,11 @@ __all__ = [
     "decode_decision",
 ]
 
-PROTOCOL_VERSION = 1
+# Version 2: obs_snapshot/health ops + optional request trace context.
+# The handshake requires exact equality (no downgrade), so a v1 worker
+# binary behind a v2 router fails loudly at hello, not quietly at the
+# first obs_snapshot it cannot answer.
+PROTOCOL_VERSION = 2
 
 # A header larger than this is garbage (a desynchronised stream, or a
 # peer speaking something else entirely): fail fast instead of trying to

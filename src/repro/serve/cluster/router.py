@@ -30,12 +30,22 @@ Design notes
   has been offered every write the flush performed.  That is the whole
   failover story: flush, then :meth:`promote`.
 
-Metrics: ``repro_router_requests_total{op,worker,outcome}``,
-``repro_router_request_seconds{op}``, ``repro_replication_lag``,
-``repro_replication_applied_total{source}`` and
-``repro_replication_rejected_total``, plus a ``replication_lag`` health
-probe (see :class:`repro.obs.health.HealthMonitor`), all readable via
-:meth:`metrics` / :meth:`export_prometheus`.
+Observability: the router is the cluster's single read surface.
+:meth:`metrics` fans the ``obs_snapshot`` op to every live worker and
+merges the answers with :mod:`repro.obs.cluster` — worker counters sum,
+gauges fold per family semantics, histograms merge exactly, and every
+worker family is also exposed per worker under a ``worker`` label —
+alongside the router-local families
+(``repro_router_requests_total{op,worker,outcome}``,
+``repro_router_request_seconds{op}``, ``repro_replication_*``) and the
+:class:`~repro.obs.cluster.ClusterHealthMonitor` rollup
+(``repro_health_*{probe,worker}``).  Every data-plane request carries
+the router tracer's ``{"trace_id", "span_id"}`` context in its frame
+header, so worker slow traces graft back under the router span that
+caused them (:func:`~repro.obs.cluster.stitch_traces`).  Pass
+``observability=False`` for a bare cluster — the overhead benchmark's
+control arm: workers run without registries, requests carry no trace
+context, and :meth:`metrics` serves router-local families only.
 """
 
 from __future__ import annotations
@@ -51,9 +61,10 @@ from typing import Callable, Iterable, Sequence
 
 from repro.core.protocols import GeofenceDecision
 from repro.core.records import SignalRecord
+from repro.obs.cluster import ClusterHealthMonitor, cluster_families, stitch_traces
 from repro.obs.export import render_prometheus
-from repro.obs.health import HealthMonitor
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer, maybe_span
 from repro.serve.checkpoint import CheckpointError
 from repro.serve.cluster.protocol import (
     ProtocolError,
@@ -69,6 +80,7 @@ from repro.serve.cluster.worker import WorkerConfig, spawn_local_worker
 from repro.serve.policy import MaintenancePolicy
 from repro.serve.registry import ModelRegistry
 from repro.serve.runtime import shard_index
+from repro.serve.telemetry import TenantStats
 
 __all__ = ["ClusterError", "Router", "SubprocessWorkerHandle", "WorkerDied",
            "WorkerTimeout", "spawn_local_worker", "spawn_subprocess_worker"]
@@ -222,6 +234,15 @@ class Router:
         ``WorkerConfig -> handle`` factory.  Default spawns subprocess
         workers; pass :func:`~repro.serve.cluster.worker.spawn_local_worker`
         for in-process worker threads (tests, single-process fallback).
+    observability:
+        Run each worker with its own registry/tracer/probes and stamp
+        router trace context into every request (default on — the obs
+        plane is bit-identical on decisions and <5 % on the critical
+        path, enforced by ``bench_cluster.py``).  Pass False for the
+        bare control arm.
+    slow_trace_threshold:
+        Root spans at least this many seconds long enter the slow-trace
+        rings, router and workers alike.
     """
 
     def __init__(self, registry: ModelRegistry | str | Path,
@@ -232,7 +253,9 @@ class Router:
                  timeout: float = 30.0,
                  launcher: Callable[[WorkerConfig], object] | None = None,
                  worker_shards: int = 1,
-                 quarantine_size: int = 0):
+                 quarantine_size: int = 0,
+                 observability: bool = True,
+                 slow_trace_threshold: float = 0.1):
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
         root = registry.root if isinstance(registry, ModelRegistry) \
@@ -267,7 +290,10 @@ class Router:
         self._replication_rejected = self.metrics_registry.counter(
             "repro_replication_rejected_total",
             help="Shipped writes the standby refused (torn/divergent)")
-        self.health = HealthMonitor(metrics=self.metrics_registry)
+        self._observability = observability
+        self.tracer = Tracer(slow_threshold=slow_trace_threshold,
+                             trace_prefix="router") if observability else None
+        self.cluster_health = ClusterHealthMonitor(metrics=self.metrics_registry)
         self.last_replication_error: str | None = None
 
         policy_dict = policy.to_dict() if policy is not None else None
@@ -280,7 +306,9 @@ class Router:
                     incremental=incremental,
                     replicate=self.follower is not None,
                     policy=policy_dict, shards=worker_shards,
-                    quarantine_size=quarantine_size)
+                    quarantine_size=quarantine_size,
+                    observability=observability,
+                    slow_trace_threshold=slow_trace_threshold)
                 self._links.append(self._connect(index, config))
         except BaseException:
             self.close()
@@ -380,7 +408,8 @@ class Router:
     def _link_for(self, tenant_id: str) -> _WorkerLink:
         return self._links[shard_index(tenant_id, self.num_workers)]
 
-    def _send(self, link: _WorkerLink, op: str, payload: dict) -> _Pending:
+    def _send(self, link: _WorkerLink, op: str, payload: dict,
+              trace: dict | None = None) -> _Pending:
         if self._closed:
             raise ClusterError("router is closed")
         if link.dead:
@@ -391,6 +420,8 @@ class Router:
             with link.pending_lock:
                 link.pending[request_id] = entry
             header = {"type": "request", "id": request_id, "op": op, **payload}
+            if trace is not None:
+                header["trace"] = trace
             try:
                 write_frame(link.handle.writer, header)
             except (OSError, ValueError) as error:
@@ -425,20 +456,55 @@ class Router:
     def _request(self, link: _WorkerLink, op: str, payload: dict,
                  timeout: float | None = None):
         started = time.perf_counter()
-        entry = self._send(link, op, payload)
-        try:
-            return self._wait(link, entry, op, timeout)
-        finally:
-            self._request_seconds.labels(op=op).observe(
-                time.perf_counter() - started)
+        with maybe_span(self.tracer, f"cluster.{op}",
+                        worker=link.index) as span:
+            trace = self.tracer.inject(span) if span is not None else None
+            entry = self._send(link, op, payload, trace=trace)
+            try:
+                return self._wait(link, entry, op, timeout)
+            finally:
+                self._request_seconds.labels(op=op).observe(
+                    time.perf_counter() - started)
 
     def _fan_out(self, op: str, payload_for: Callable[[_WorkerLink], dict],
                  timeout: float | None = None) -> list:
         """Send one request to every live worker, then wait for all."""
+        with maybe_span(self.tracer, f"cluster.{op}",
+                        fan_out=len(self._links)) as span:
+            trace = self.tracer.inject(span) if span is not None else None
+            sent: list[tuple[_WorkerLink, _Pending]] = []
+            for link in self._links:
+                sent.append((link, self._send(link, op, payload_for(link),
+                                              trace=trace)))
+            return [self._wait(link, entry, op, timeout)
+                    for link, entry in sent]
+
+    def _fan_out_tolerant(self, op: str, timeout: float | None = None
+                          ) -> tuple[dict[int, object], set[int]]:
+        """Best-effort fan-out for observability reads.
+
+        Unlike :meth:`_fan_out`, a dead, broken, or silent worker does
+        not abort the collection — monitoring must keep answering
+        *because* part of the cluster is failing.  Returns the results
+        of the workers that answered plus the set that did not.
+        """
+        results: dict[int, object] = {}
+        failed: set[int] = set()
         sent: list[tuple[_WorkerLink, _Pending]] = []
         for link in self._links:
-            sent.append((link, self._send(link, op, payload_for(link))))
-        return [self._wait(link, entry, op, timeout) for link, entry in sent]
+            if link.dead:
+                failed.add(link.index)
+                continue
+            try:
+                sent.append((link, self._send(link, op, {})))
+            except ClusterError:
+                failed.add(link.index)
+        for link, entry in sent:
+            try:
+                results[link.index] = self._wait(link, entry, op, timeout)
+            except ClusterError:
+                failed.add(link.index)
+        return results, failed
 
     # ------------------------------------------------------------------
     # Data plane
@@ -458,19 +524,23 @@ class Router:
         for position, (tenant_id, _) in enumerate(items):
             by_worker.setdefault(shard_index(tenant_id, self.num_workers),
                                  []).append(position)
-        sent: list[tuple[_WorkerLink, _Pending, list[int]]] = []
-        for index, positions in by_worker.items():
-            link = self._links[index]
-            payload = {"items": [[items[p][0], encode_record(items[p][1])]
-                                 for p in positions]}
-            sent.append((link, self._send(link, "observe_many", payload),
-                         positions))
-        decisions: list[GeofenceDecision | None] = [None] * len(items)
-        for link, entry, positions in sent:
-            batch = self._wait(link, entry, "observe_many", None)
-            for position, data in zip(positions, batch):
-                decisions[position] = decode_decision(data)
-        return decisions
+        with maybe_span(self.tracer, "cluster.observe_many",
+                        items=len(items), workers=len(by_worker)) as span:
+            trace = self.tracer.inject(span) if span is not None else None
+            sent: list[tuple[_WorkerLink, _Pending, list[int]]] = []
+            for index, positions in by_worker.items():
+                link = self._links[index]
+                payload = {"items": [[items[p][0], encode_record(items[p][1])]
+                                     for p in positions]}
+                sent.append((link, self._send(link, "observe_many", payload,
+                                              trace=trace),
+                             positions))
+            decisions: list[GeofenceDecision | None] = [None] * len(items)
+            for link, entry, positions in sent:
+                batch = self._wait(link, entry, "observe_many", None)
+                for position, data in zip(positions, batch):
+                    decisions[position] = decode_decision(data)
+            return decisions
 
     def score(self, tenant_id: str, record: SignalRecord) -> float:
         return float(self._request(self._link_for(tenant_id), "score",
@@ -520,6 +590,34 @@ class Router:
         """Per-worker ``{worker, pid, requests, busy_seconds, runtime}``."""
         return self._fan_out("stats", lambda link: {})
 
+    def stats(self) -> dict:
+        """Live cluster aggregate, mid-run and dead-worker tolerant.
+
+        Sums each responding worker's request counts, busy seconds,
+        residency, pending decisions and fleet telemetry totals into
+        one view — the numbers :attr:`final_worker_stats` only yields
+        at shutdown, available while the cluster serves.
+        """
+        results, failed = self._fan_out_tolerant("stats")
+        totals = TenantStats()
+        requests, busy = 0, 0.0
+        resident, pending = 0, 0
+        workers: list[dict] = []
+        for index in sorted(results):
+            stat = results[index]
+            workers.append(stat)
+            requests += stat["requests"]
+            busy += stat["busy_seconds"]
+            runtime = stat["runtime"]
+            resident += sum(runtime["resident"])
+            pending += sum(runtime["pending_decisions"])
+            totals.merge(TenantStats(**runtime["totals"]))
+        return {"live_workers": self.live_workers,
+                "unresponsive": sorted(failed),
+                "requests": requests, "busy_seconds": busy,
+                "resident": resident, "pending_decisions": pending,
+                "totals": totals.as_dict(), "workers": workers}
+
     # ------------------------------------------------------------------
     # Replication / failover
     # ------------------------------------------------------------------
@@ -555,16 +653,76 @@ class Router:
     # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------
+    def worker_metrics(self) -> dict[int, dict | None]:
+        """Each worker's ``runtime.metrics()`` dict, by worker index.
+
+        ``None`` marks a worker that runs without observability or did
+        not answer (dead, broken pipe, timeout) — the caller decides
+        whether that is a merge gap or a health incident.
+        """
+        results, failed = self._fan_out_tolerant("obs_snapshot")
+        out: dict[int, dict | None] = {index: None for index in failed}
+        out.update(results)
+        return dict(sorted(out.items()))
+
     def metrics(self) -> dict:
-        """Router-local metrics + health snapshot (no worker round trips)."""
+        """Cluster-wide observability snapshot.
+
+        Fans ``obs_snapshot`` to every live worker, folds the answers
+        into the router-local families (see
+        :func:`~repro.obs.cluster.cluster_families`), grades cluster
+        health (worker probe worst-of + liveness + replication lag),
+        and stitches router→worker slow-trace trees.  Shape matches a
+        runtime snapshot (``families`` / ``health`` / ``traces``) plus
+        the per-worker ``workers`` liveness list.
+        """
         if self.follower is not None:
             self._replication_lag_gauge.set(self.follower.lag_seconds())
-        health = self.health.check(self)
-        return {"families": self.metrics_registry.snapshot(),
+        if self._observability:
+            snapshots, failed = self._fan_out_tolerant("obs_snapshot")
+        else:
+            snapshots, failed = {}, set()
+        worker_up = {link.index: not link.dead and link.index not in failed
+                     for link in self._links}
+        # Health first: the rollup mirrors into this registry's gauges,
+        # which the snapshot below must already see.
+        health = self.cluster_health.check(
+            worker_up,
+            worker_probes={index: (snap or {}).get("health")
+                           for index, snap in snapshots.items()},
+            replication_lag=self.replication_lag())
+        families = cluster_families(
+            self.metrics_registry.snapshot(),
+            {index: snap["families"] for index, snap in snapshots.items()
+             if snap})
+        traces = stitch_traces(
+            self.tracer.snapshot() if self.tracer is not None else None,
+            {index: snap.get("traces") for index, snap in snapshots.items()
+             if snap})
+        return {"families": families,
                 "health": {name: result.as_dict()
                            for name, result in health.items()},
+                "traces": traces,
                 "workers": [{"index": link.index, "pid": link.pid,
                              "dead": link.dead} for link in self._links]}
+
+    def health_report(self) -> dict:
+        """Graded cluster health: folded probes + per-worker detail.
+
+        The :meth:`~repro.obs.cluster.ClusterHealthMonitor.report` form
+        (``status`` / ``probes`` / ``workers``) the CLI renders for
+        ``repro cluster --health``; cheaper than :meth:`metrics` when
+        only grades are wanted.
+        """
+        if self._observability:
+            snapshots, failed = self._fan_out_tolerant("health")
+        else:
+            snapshots, failed = {}, set()
+        worker_up = {link.index: not link.dead and link.index not in failed
+                     for link in self._links}
+        return self.cluster_health.report(
+            worker_up, worker_probes=snapshots,
+            replication_lag=self.replication_lag())
 
     def export_prometheus(self) -> str:
         return render_prometheus(self.metrics())

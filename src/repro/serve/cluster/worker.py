@@ -44,6 +44,7 @@ from repro.serve.cluster.protocol import (
     read_frame,
     write_frame,
 )
+from repro.obs.tracing import maybe_span
 from repro.serve.cluster.replicate import DeltaShipper
 from repro.serve.policy import MaintenancePolicy
 from repro.serve.runtime import ServingRuntime, shard_index
@@ -71,13 +72,17 @@ class WorkerConfig:
     policy: dict | None = None    # MaintenancePolicy.to_dict() form
     shards: int = 1               # runtime shards inside this worker
     quarantine_size: int = 0      # per-tenant quarantine capacity (0 = off)
+    observability: bool = True    # per-worker registry/tracer/probes
+    slow_trace_threshold: float = 0.1
 
     def to_dict(self) -> dict:
         return {"registry": self.registry, "index": self.index,
                 "num_workers": self.num_workers, "capacity": self.capacity,
                 "incremental": self.incremental, "replicate": self.replicate,
                 "policy": self.policy, "shards": self.shards,
-                "quarantine_size": self.quarantine_size}
+                "quarantine_size": self.quarantine_size,
+                "observability": self.observability,
+                "slow_trace_threshold": self.slow_trace_threshold}
 
     @classmethod
     def from_dict(cls, data: dict) -> "WorkerConfig":
@@ -89,7 +94,10 @@ class WorkerConfig:
                        replicate=bool(data.get("replicate", False)),
                        policy=data.get("policy"),
                        shards=int(data.get("shards", 1)),
-                       quarantine_size=int(data.get("quarantine_size", 0)))
+                       quarantine_size=int(data.get("quarantine_size", 0)),
+                       observability=bool(data.get("observability", True)),
+                       slow_trace_threshold=float(
+                           data.get("slow_trace_threshold", 0.1)))
         except (KeyError, TypeError, ValueError) as error:
             raise ProtocolError(f"bad worker config: {error}") from error
 
@@ -134,7 +142,9 @@ class ClusterWorker:
         self.runtime = ServingRuntime(
             config.registry, num_shards=config.shards,
             capacity=config.capacity, incremental=config.incremental,
-            policy=policy, scheduler_interval=None, observability=False,
+            policy=policy, scheduler_interval=None,
+            observability=config.observability,
+            slow_trace_threshold=config.slow_trace_threshold,
             quarantine_size=config.quarantine_size)
         if config.replicate:
             self.shipper = DeltaShipper(source=f"worker-{config.index}")
@@ -177,7 +187,15 @@ class ClusterWorker:
         request_id = header.get("id")
         started = time.process_time()
         try:
-            result = self._dispatch(header)
+            # The root span joins the router's trace when the request
+            # header carries one; everything the dispatch opens (fleet
+            # observe/refresh spans) nests under it, so the router can
+            # stitch a cross-process tree from the slow-trace rings.
+            with maybe_span(self.runtime.tracer,
+                            f"worker.{header.get('op')}",
+                            context=header.get("trace"),
+                            worker=self.config.index):
+                result = self._dispatch(header)
         except Exception as error:  # noqa: BLE001 - mapped, not swallowed
             self.busy_seconds += time.process_time() - started
             self.requests_served += 1
@@ -246,6 +264,16 @@ class ClusterWorker:
             return runtime.flush()
         if op == "stats":
             return self._stats()
+        if op == "obs_snapshot":
+            # None (not an error) when this worker runs bare: the router
+            # merges whoever answered and reports the rest as obs-less.
+            if runtime.metrics_registry is None:
+                return None
+            return runtime.metrics()
+        if op == "health":
+            if runtime.health is None:
+                return None
+            return runtime.health_report()
         if op == "ping":
             return {"worker": self.config.index, "pid": os.getpid()}
         if op == "shutdown":

@@ -429,6 +429,18 @@ class ServingRuntime:
                           if self.scheduler is not None else None),
         }
 
+    def health_report(self) -> dict[str, dict]:
+        """Probe results alone, ``ProbeResult.as_dict()`` form.
+
+        The JSON-safe shape the cluster ``health`` op ships: cheaper
+        than :meth:`metrics` when the caller wants grades, not series.
+        """
+        if self.health is None:
+            raise RuntimeError("runtime was built with observability=False; "
+                               "no health probes to evaluate")
+        return {name: result.as_dict()
+                for name, result in self.health.check(self).items()}
+
     def export_prometheus(self) -> str:
         """Prometheus text exposition of the current metrics snapshot."""
         return render_prometheus(self.metrics())

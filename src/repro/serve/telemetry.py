@@ -219,33 +219,43 @@ class FleetTelemetry:
         if not decisions:
             return
         each = seconds / len(decisions)
+        # Tally outside any lock, then apply each total in one locked
+        # update — per-decision child.inc() calls would acquire ~3N
+        # metric locks per batch and rival the scoring work itself.
+        inside = unembeddable = buffered = updated = 0
+        for decision in decisions:
+            if decision.inside:
+                inside += 1
+            if math.isinf(decision.score):
+                unembeddable += 1
+            if decision.buffered:
+                buffered += 1
+            if decision.updated:
+                updated += 1
+        outside = len(decisions) - inside
         with self._lock:
             stats = self._tenant(tenant_id)
             stats.observations += len(decisions)
-            for decision in decisions:
-                if decision.inside:
-                    stats.inside += 1
-                else:
-                    stats.outside += 1
-                if math.isinf(decision.score):
-                    stats.unembeddable += 1
-                if decision.buffered:
-                    stats.buffered += 1
-                if decision.updated:
-                    stats.updates_applied += 1
+            stats.inside += inside
+            stats.outside += outside
+            stats.unembeddable += unembeddable
+            stats.buffered += buffered
+            stats.updates_applied += updated
             stats.observe_seconds += seconds
         if self._metrics is not None:
-            inside, outside, unembeddable = self._decision_children(tenant_id)
-            observe = self._op_children["observe"]
-            for decision in decisions:
-                (inside if decision.inside else outside).inc()
-                if math.isinf(decision.score):
-                    unembeddable.inc()
-                if decision.buffered:
-                    self._buffered.inc()
-                if decision.updated:
-                    self._applied.inc()
-                observe.observe(each)
+            inside_child, outside_child, unembeddable_child = \
+                self._decision_children(tenant_id)
+            if inside:
+                inside_child.inc(inside)
+            if outside:
+                outside_child.inc(outside)
+            if unembeddable:
+                unembeddable_child.inc(unembeddable)
+            if buffered:
+                self._buffered.inc(buffered)
+            if updated:
+                self._applied.inc(updated)
+            self._op_children["observe"].observe_repeated(each, len(decisions))
 
     def _record_op(self, op: str, seconds: float | None = None) -> None:
         """Mirror one lifecycle event (and optionally its latency)."""

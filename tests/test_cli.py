@@ -449,6 +449,79 @@ class TestObservabilityCLI:
         assert run("obs", "render", str(empty)) == 2
         assert "no metrics snapshots" in capsys.readouterr().err
 
+    @staticmethod
+    def snapshot_line(at, decisions, resident):
+        return json.dumps({"at": at, "families": {
+            "repro_decisions_total": {
+                "type": "counter", "help": "", "labels": ["shard"],
+                "series": [{"labels": {"shard": "0"}, "value": decisions}]},
+            "repro_tenants_resident": {
+                "type": "gauge", "help": "", "labels": ["shard"],
+                "series": [{"labels": {"shard": "0"}, "value": resident}]},
+        }}) + "\n"
+
+    def test_obs_render_diff_two_files(self, tmp_path, capsys):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        a.write_text(self.snapshot_line(100.0, 10, 2))
+        b.write_text(self.snapshot_line(110.0, 15, 2))
+        assert run("obs", "render", str(a), str(b), "--diff") == 0
+        out = capsys.readouterr().out
+        assert "Snapshot deltas over 10.00s" in out
+        assert "repro_decisions_total" in out
+        assert "0.5" in out                 # 5 decisions / 10s
+        # The unchanged gauge still shows its level; value column = 2.
+        assert "repro_tenants_resident" in out
+
+    def test_obs_render_diff_single_trail(self, tmp_path, capsys):
+        trail = tmp_path / "trail.jsonl"
+        trail.write_text(self.snapshot_line(100.0, 10, 2)
+                         + self.snapshot_line(105.0, 30, 3))
+        assert run("obs", "render", str(trail), "--diff") == 0
+        out = capsys.readouterr().out
+        assert "Snapshot deltas over 5.00s" in out
+        assert "20" in out and "4" in out   # delta and rate/s
+
+    def test_obs_render_diff_json(self, tmp_path, capsys):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        a.write_text(self.snapshot_line(100.0, 10, 2))
+        b.write_text(self.snapshot_line(110.0, 15, 4))
+        assert run("obs", "render", str(a), str(b), "--diff",
+                   "--format", "json") == 0
+        diff = json.loads(capsys.readouterr().out)
+        assert diff["interval_seconds"] == 10.0
+        family = diff["families"]["repro_decisions_total"]
+        assert family["series"][0]["delta"] == 5
+        assert family["series"][0]["rate"] == pytest.approx(0.5)
+        gauge = diff["families"]["repro_tenants_resident"]["series"][0]
+        assert (gauge["delta"], gauge["value"]) == (2, 4)
+
+    def test_obs_render_diff_identical_snapshots(self, tmp_path, capsys):
+        # Counter-only snapshot: a self-diff is pure noise and says so.
+        # (Gauges always render — their level matters even unchanged.)
+        trail = tmp_path / "one.jsonl"
+        line = json.loads(self.snapshot_line(100.0, 10, 2))
+        del line["families"]["repro_tenants_resident"]
+        trail.write_text(json.dumps(line) + "\n")
+        assert run("obs", "render", str(trail), "--diff") == 0
+        assert "(no changes" in capsys.readouterr().out
+
+    def test_obs_render_path_count_errors(self, tmp_path, capsys):
+        trail = tmp_path / "t.jsonl"
+        trail.write_text(self.snapshot_line(1.0, 1, 1))
+        assert run("obs", "render", str(trail), str(trail)) == 2
+        assert "one snapshot file, or two with --diff" \
+            in capsys.readouterr().err
+        assert run("obs", "render", str(trail), str(trail), str(trail),
+                   "--diff") == 2
+        assert "one snapshot file" in capsys.readouterr().err
+
+    def test_obs_render_diff_rejects_prometheus(self, tmp_path, capsys):
+        trail = tmp_path / "t.jsonl"
+        trail.write_text(self.snapshot_line(1.0, 1, 1))
+        assert run("obs", "render", str(trail), "--diff",
+                   "--format", "prometheus") == 2
+        assert "no Prometheus exposition form" in capsys.readouterr().err
+
 
 class TestClusterCLI:
     @pytest.fixture()
@@ -528,6 +601,50 @@ class TestClusterCLI:
         assert run("cluster", "--registry", str(registry_root),
                    "--events", str(tmp_path / "nope.jsonl"), "--local") == 2
         assert "no such events file" in capsys.readouterr().err
+
+    def test_cluster_health_and_live_totals(self, tmp_path, cluster_world,
+                                            capsys):
+        registry_root, events = cluster_world
+        assert run("cluster", "--registry", str(registry_root),
+                   "--events", str(events), "--workers", "2", "--local",
+                   "--health", "-o", str(tmp_path / "decisions.jsonl")) == 0
+        err = capsys.readouterr().err
+        # Live Router.stats() aggregate, printed before per-worker lines.
+        assert "cluster totals:" in err
+        assert "10 observation(s)" in err
+        assert "2 resident tenant(s)" in err
+        assert "2 live worker(s)" in err
+        # Health rollup table: folded grades plus per-worker rows.
+        assert "Cluster health: ok" in err
+        assert "worker_up" in err and "replication_lag" in err
+        for probe_owner in ("cluster", "router", "0", "1"):
+            assert probe_owner in err
+
+    def test_cluster_merged_metrics_out(self, tmp_path, cluster_world,
+                                        capsys):
+        registry_root, events = cluster_world
+        metrics_path = tmp_path / "metrics.jsonl"
+        assert run("cluster", "--registry", str(registry_root),
+                   "--events", str(events), "--workers", "2", "--local",
+                   "--metrics-out", str(metrics_path),
+                   "-o", str(tmp_path / "decisions.jsonl")) == 0
+        capsys.readouterr()
+        snapshot = json.loads(metrics_path.read_text().splitlines()[-1])
+        families = snapshot["families"]
+        decisions = families["repro_decisions_total"]
+        assert decisions["labels"] == ["shard", "tenant_class", "result",
+                                       "worker"]
+        aggregated = sum(e["value"] for e in decisions["series"]
+                         if "worker" not in e["labels"])
+        per_worker = sum(e["value"] for e in decisions["series"]
+                         if "worker" in e["labels"])
+        assert aggregated == per_worker == 10
+        assert snapshot["health"]["worker_up"]["status"] == "ok"
+        # The aggregated JSONL renders through the same obs tooling.
+        assert run("obs", "render", str(metrics_path)) == 0
+        out = capsys.readouterr().out
+        assert "repro_decisions_total" in out
+        assert "worker=0" in out or "worker=1" in out
 
 
 class TestGracefulShutdown:
